@@ -1,0 +1,251 @@
+package blazes
+
+// One benchmark per table/figure of the paper, plus microbenchmarks for the
+// analysis itself. Figure benches run reduced-scale simulations (the full
+// paper-scale runs live in cmd/experiments); custom metrics report the
+// figure's headline quantity so `go test -bench` output doubles as a
+// regeneration of the paper's data shapes.
+
+import (
+	"testing"
+
+	"blazes/internal/adtrack"
+	"blazes/internal/bloom"
+	"blazes/internal/core"
+	"blazes/internal/dataflow"
+	"blazes/internal/experiments"
+	"blazes/internal/sim"
+	"blazes/internal/storm"
+	"blazes/internal/wc"
+)
+
+// BenchmarkFig5AnomalyMatrix regenerates the Figure 5 anomaly/remediation
+// matrix (3 properties × 4 mechanisms, multi-seed).
+func BenchmarkFig5AnomalyMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.Fig5Matrix(4)
+		if len(m) != 12 {
+			b.Fatalf("cells = %d", len(m))
+		}
+	}
+}
+
+// BenchmarkFig6Queries evaluates the four reporting queries of Figure 6
+// against a synthetic click log on the Bloom runtime.
+func BenchmarkFig6Queries(b *testing.B) {
+	queries := []dataflow.AdQuery{dataflow.THRESH, dataflow.POOR, dataflow.WINDOW, dataflow.CAMPAIGN}
+	w := adtrack.DefaultWorkload(3, false)
+	w.EntriesPerServer = 200
+	var clicks []bloom.Row
+	for _, burst := range w.Plan() {
+		for _, c := range burst.Clicks {
+			clicks = append(clicks, c.Row())
+		}
+	}
+	request := adtrack.Request{ID: adtrack.AdName(0, 0), Campaign: adtrack.CampaignName(0), Window: "w0", ReqID: "r"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			mod, err := adtrack.ReportModule(q, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := bloom.NewNode("bench", mod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := n.Deliver("click", clicks...); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := n.Tick(); err != nil {
+				b.Fatal(err)
+			}
+			if err := n.Deliver("request", request.Row()); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := n.Tick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7to10Calculus exercises the annotation calculus tables
+// (Figures 7–10): inference and reconciliation over every rule combination.
+func BenchmarkFig7to10Calculus(b *testing.B) {
+	anns := []core.Annotation{core.CR, core.CW, core.ORGate("id", "campaign"), core.OWGate("word", "batch"), core.ORStar(), core.OWStar()}
+	labels := []core.Label{core.Async, core.Run, core.Inst, core.Diverge, core.Seal("campaign"), core.Seal("batch")}
+	for i := 0; i < b.N; i++ {
+		for _, ann := range anns {
+			var outs []core.Label
+			for _, l := range labels {
+				outs = append(outs, core.Infer(l, ann, nil).Out)
+			}
+			core.Reconcile(outs, true, nil)
+		}
+	}
+}
+
+// BenchmarkCaseStudyDerivations runs the full Section VI analyses (both
+// running examples, grey box) per iteration.
+func BenchmarkCaseStudyDerivations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, g := range []*dataflow.Graph{
+			dataflow.WordcountTopology(false),
+			dataflow.WordcountTopology(true),
+			dataflow.AdNetwork(dataflow.THRESH),
+			dataflow.AdNetwork(dataflow.POOR),
+			dataflow.AdNetwork(dataflow.CAMPAIGN, "campaign"),
+		} {
+			if _, err := dataflow.Analyze(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWhiteBoxExtraction measures the Bloom white-box analysis of the
+// ad system's modules (Section VII).
+func BenchmarkWhiteBoxExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, q := range []dataflow.AdQuery{dataflow.THRESH, dataflow.POOR, dataflow.WINDOW, dataflow.CAMPAIGN} {
+			mod, err := adtrack.ReportModule(q, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := bloom.Analyze(mod); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11WordcountThroughput regenerates a reduced Figure 11 sweep
+// and reports the sealed/transactional throughput ratio at both ends of the
+// cluster-size axis.
+func BenchmarkFig11WordcountThroughput(b *testing.B) {
+	cfg := experiments.DefaultFig11()
+	cfg.ClusterSizes = []int{5, 20}
+	cfg.Duration = 300 * sim.Millisecond
+	cfg.Runs = 1
+	var first, last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last = rows[0].Ratio, rows[len(rows)-1].Ratio
+	}
+	b.ReportMetric(first, "ratio@5workers")
+	b.ReportMetric(last, "ratio@20workers")
+}
+
+// benchAdFigure runs one reduced ad-network figure and reports the ordered
+// and sealed slowdown factors over the uncoordinated baseline.
+func benchAdFigure(b *testing.B, servers int, includeOrdered bool) {
+	var orderedFactor, sealFactor float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig12Or13(experiments.AdFigureConfig{
+			Seed: 1, AdServers: servers, EntriesPerServer: 100,
+			Sleep: 50 * sim.Millisecond, BatchSize: 10, IncludeOrdered: includeOrdered,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		byLabel := map[string]experiments.AdSeries{}
+		for _, c := range fig.Curves {
+			byLabel[c.Label] = c
+		}
+		un := byLabel["Uncoordinated"].FinishedAt
+		if includeOrdered && un > 0 {
+			orderedFactor = float64(byLabel["Ordered"].FinishedAt) / float64(un)
+		}
+		if un > 0 {
+			sealFactor = float64(byLabel["Seal"].FinishedAt) / float64(un)
+		}
+	}
+	if includeOrdered {
+		b.ReportMetric(orderedFactor, "ordered/uncoord")
+	}
+	b.ReportMetric(sealFactor, "seal/uncoord")
+}
+
+// BenchmarkFig12AdReport5 regenerates Figure 12 (5 ad servers).
+func BenchmarkFig12AdReport5(b *testing.B) { benchAdFigure(b, 5, true) }
+
+// BenchmarkFig13AdReport10 regenerates Figure 13 (10 ad servers).
+func BenchmarkFig13AdReport10(b *testing.B) { benchAdFigure(b, 10, true) }
+
+// BenchmarkFig14SealStrategies regenerates Figure 14 (seal variants only)
+// and reports the buffering-latency gap between the two partitionings.
+func BenchmarkFig14SealStrategies(b *testing.B) {
+	var indBuf, sealBuf float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig14WithSleep(1, 100, 50*sim.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range fig.Curves {
+			switch c.Label {
+			case "Independent Seal":
+				indBuf = c.AvgBufferTime.Seconds()
+			case "Seal":
+				sealBuf = c.AvgBufferTime.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(indBuf, "indep-buffer-sec")
+	b.ReportMetric(sealBuf, "vote-buffer-sec")
+}
+
+// BenchmarkStormSealedWordcount measures raw engine throughput (events/sec
+// of the simulator) for the sealed wordcount.
+func BenchmarkStormSealedWordcount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := wc.Run(wc.RunConfig{
+			Seed: int64(i + 1), Workers: 4, Batches: 10, TuplesPerBatch: 50,
+			WordsPerTweet: 4, Mode: storm.CommitSealed, Punctuate: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Done {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkBloomTick measures the Bloom runtime's timestep cost on the
+// CAMPAIGN standing query over a 1k-row log.
+func BenchmarkBloomTick(b *testing.B) {
+	mod, err := adtrack.ReportModule(dataflow.CAMPAIGN, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := bloom.NewNode("bench", mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := adtrack.DefaultWorkload(2, false)
+	w.EntriesPerServer = 500
+	for _, burst := range w.Plan() {
+		for _, c := range burst.Clicks {
+			if err := n.Deliver("click", c.Row()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := n.Tick(); err != nil {
+		b.Fatal(err)
+	}
+	req := adtrack.Request{ID: adtrack.AdName(0, 0), Campaign: adtrack.CampaignName(0), Window: "w0", ReqID: "r"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Deliver("request", req.Row()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

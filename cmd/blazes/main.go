@@ -1,0 +1,120 @@
+// Command blazes analyzes an annotated dataflow specification (the paper's
+// "grey box" input, Figure 1): it derives stream labels, reports the
+// consistency verdict, and synthesizes the cheapest safe coordination
+// strategy.
+//
+// Usage:
+//
+//	blazes -spec internal/spec/testdata/wordcount.blazes -explain
+//	blazes -spec internal/spec/testdata/adreport.blazes \
+//	       -variant Report=CAMPAIGN -seal clicks=campaign -synthesize
+//
+// Flags:
+//
+//	-spec file        the Blazes configuration file (annotations + topology)
+//	-variant C=V      select a named annotation variant for component C
+//	-seal S=a+b       annotate stream S with Seal on attributes a,b
+//	-explain          print the full derivation tree
+//	-synthesize       print synthesized coordination strategies
+//	-repair           apply strategies and re-analyze to a fixpoint
+//	-sequencing       prefer M1 sequencing over M2 dynamic ordering
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blazes/internal/dataflow"
+	"blazes/internal/fd"
+	"blazes/internal/spec"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "Blazes configuration file")
+		explain    = flag.Bool("explain", false, "print the full derivation")
+		synthesize = flag.Bool("synthesize", false, "print synthesized strategies")
+		repair     = flag.Bool("repair", false, "apply strategies and re-analyze")
+		sequencing = flag.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
+		variants   multiFlag
+		seals      multiFlag
+	)
+	flag.Var(&variants, "variant", "Component=Variant annotation selection (repeatable)")
+	flag.Var(&seals, "seal", "stream=attr+attr seal annotation (repeatable)")
+	flag.Parse()
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "blazes: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := spec.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := spec.BuildOptions{Variants: map[string]string{}}
+	for _, v := range variants {
+		comp, variant, ok := strings.Cut(v, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -variant %q (want Component=Variant)", v))
+		}
+		opts.Variants[comp] = variant
+	}
+	g, err := cfg.Graph(strings.TrimSuffix(*specPath, ".blazes"), opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range seals {
+		stream, attrs, ok := strings.Cut(s, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -seal %q (want stream=attr+attr)", s))
+		}
+		st := g.Stream(stream)
+		if st == nil {
+			fatal(fmt.Errorf("unknown stream %q", stream))
+		}
+		st.Seal = fd.NewAttrSet(strings.Split(attrs, "+")...)
+	}
+
+	a, err := dataflow.Analyze(g)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		fmt.Println(a.Explain())
+	} else {
+		fmt.Printf("verdict: %s (deterministic: %v)\n", a.Verdict, a.Deterministic())
+	}
+
+	synthOpts := dataflow.SynthesisOptions{PreferSequencing: *sequencing}
+	if *synthesize || *repair {
+		for _, st := range dataflow.Synthesize(a, synthOpts) {
+			fmt.Printf("strategy: %s\n  reason: %s\n", st, st.Reason)
+		}
+	}
+	if *repair {
+		final, sts, err := dataflow.Repair(g, synthOpts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("after repair (%d strategies): verdict %s (deterministic: %v)\n",
+			len(sts), final.Verdict, final.Deterministic())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blazes:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package blazes is a from-scratch Go reproduction of "Blazes: Coordination
+// Analysis for Distributed Programs" (Alvaro, Conway, Hellerstein, Maier —
+// ICDE 2014): the annotation calculus and whole-dataflow analysis that
+// decide where a distributed dataflow needs coordination, the synthesis of
+// seal-based and order-based coordination strategies, and every substrate
+// the paper's evaluation depends on — a Storm-like stream engine, a
+// Bloom-like declarative runtime with white-box analysis, a Zookeeper-like
+// ordering service, the seal/punctuation protocol, and a deterministic
+// discrete-event network simulator.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package blazes

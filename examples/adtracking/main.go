@@ -1,0 +1,57 @@
+// Ad tracking: run the paper's ad network under all coordination regimes,
+// observe the cross-instance anomaly the paper reports for the
+// uncoordinated run, and the determinism (plus near-baseline performance)
+// of the sealed run — Figures 12–14 in miniature.
+//
+//	go run ./examples/adtracking
+package main
+
+import (
+	"fmt"
+
+	"blazes/internal/adtrack"
+	"blazes/internal/sim"
+)
+
+func config(regime adtrack.Regime, independent bool) adtrack.Config {
+	cfg := adtrack.DefaultConfig(5, regime, independent)
+	cfg.Workload.EntriesPerServer = 120
+	cfg.Workload.BatchSize = 10
+	cfg.Workload.Sleep = 50 * sim.Millisecond
+	cfg.Threshold = 1 << 30 // every count answered
+	cfg.Requests = 10
+	cfg.RequestSpacing = 60 * sim.Millisecond
+	return cfg
+}
+
+func main() {
+	fmt.Printf("%-18s %10s %10s %8s %s\n", "regime", "records", "finish", "lookups", "replicas agree?")
+	for _, v := range []struct {
+		label       string
+		regime      adtrack.Regime
+		independent bool
+	}{
+		{"uncoordinated", adtrack.Uncoordinated, false},
+		{"ordered", adtrack.Ordered, false},
+		{"independent seal", adtrack.Sealed, true},
+		{"seal", adtrack.Sealed, false},
+	} {
+		res, err := adtrack.Run(config(v.regime, v.independent))
+		if err != nil {
+			panic(err)
+		}
+		diff := adtrack.CrossInstanceDiff(res, 3)
+		agree := "yes"
+		if diff != "" {
+			agree = "NO — " + diff
+		}
+		fmt.Printf("%-18s %10d %10s %8d %s\n",
+			v.label, res.Series.Final(), res.FinishedAt, res.RegistryLookups, agree)
+	}
+
+	fmt.Println("\nThe uncoordinated run may disagree across replicas (the paper 'confirmed")
+	fmt.Println("by observation that certain queries posed to multiple reporting server")
+	fmt.Println("replicas returned inconsistent results'); ordering and sealing both")
+	fmt.Println("restore agreement, but sealing finishes near the uncoordinated baseline")
+	fmt.Println("while ordering pays the totally-ordered delivery penalty.")
+}

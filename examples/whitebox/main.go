@@ -1,0 +1,51 @@
+// Whitebox: write Bloom rules, extract C.O.W.R. annotations automatically
+// (no annotation file), run the Blazes analysis and synthesis end to end —
+// the Section VII workflow.
+//
+//	go run ./examples/whitebox
+package main
+
+import (
+	"fmt"
+
+	"blazes/internal/adtrack"
+	"blazes/internal/bloom"
+	"blazes/internal/dataflow"
+)
+
+func main() {
+	for _, query := range []dataflow.AdQuery{dataflow.THRESH, dataflow.POOR, dataflow.CAMPAIGN} {
+		mod, err := adtrack.ReportModule(query, 100)
+		if err != nil {
+			panic(err)
+		}
+		analysis, err := bloom.Analyze(mod)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("== %s: extracted annotations ==\n", query)
+		for _, p := range analysis.Paths {
+			fmt.Printf("  %s → %s : %s\n", p.From, p.To, p.Ann)
+		}
+
+		// Assemble the full network (Report + Cache, both auto-annotated)
+		// and analyze; for CAMPAIGN also seal the click stream.
+		var seal []string
+		if query == dataflow.CAMPAIGN {
+			seal = []string{adtrack.ColCampaign}
+		}
+		g, err := adtrack.Graph(query, seal...)
+		if err != nil {
+			panic(err)
+		}
+		a, err := dataflow.Analyze(g)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  whole-dataflow verdict: %s (deterministic: %v)\n", a.Verdict, a.Deterministic())
+		for _, st := range dataflow.Synthesize(a, dataflow.SynthesisOptions{}) {
+			fmt.Printf("  strategy: %s\n", st)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,52 @@
+// Wordcount: run the paper's Storm topology under both commit disciplines
+// on the simulated cluster and compare throughput and correctness — Figure
+// 11 in miniature.
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"reflect"
+
+	"blazes/internal/storm"
+	"blazes/internal/wc"
+)
+
+func main() {
+	base := wc.RunConfig{
+		Seed:           42,
+		Workers:        8,
+		Batches:        20,
+		TuplesPerBatch: 100,
+		WordsPerTweet:  4,
+		Punctuate:      true,
+	}
+
+	sealed := base
+	sealed.Mode = storm.CommitSealed
+	rs, err := wc.Run(sealed)
+	if err != nil {
+		panic(err)
+	}
+
+	tx := base
+	tx.Mode = storm.CommitTransactional
+	rt, err := wc.Run(tx)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%-15s %12s %12s %10s\n", "mode", "tuples", "finish", "tput/s")
+	fmt.Printf("%-15s %12d %12s %10.0f\n", "sealed", rs.Metrics.EmittedTuples, rs.Metrics.FinishedAt, rs.Metrics.Throughput())
+	fmt.Printf("%-15s %12d %12s %10.0f\n", "transactional", rt.Metrics.EmittedTuples, rt.Metrics.FinishedAt, rt.Metrics.Throughput())
+	fmt.Printf("speedup: %.2fx\n\n", rt.Metrics.FinishedAt.Seconds()/rs.Metrics.FinishedAt.Seconds())
+
+	// Both modes commit exactly the same counts — they differ only in
+	// coordination. Commit order differs: transactional is 0,1,2,…;
+	// sealed commits batches as their seals arrive.
+	same := reflect.DeepEqual(rs.Store.Snapshot(), rt.Store.Snapshot())
+	fmt.Println("identical committed counts:", same)
+	fmt.Println("sealed commit order:       ", rs.Store.CommitOrder())
+	fmt.Println("transactional commit order:", rt.Store.CommitOrder())
+}

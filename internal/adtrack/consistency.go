@@ -1,0 +1,96 @@
+package adtrack
+
+import (
+	"fmt"
+	"sort"
+
+	"blazes/internal/bloom"
+)
+
+// AnswerTable extracts one replica's answers: reqid → answer value. A
+// request whose group fails the having clause produces no row; it is simply
+// absent from the table.
+func AnswerTable(res *Result, replica int) map[string]string {
+	out := map[string]string{}
+	for _, r := range res.Responses {
+		if r.Replica != replica {
+			continue
+		}
+		// response schema: (id, reqid, answer)
+		reqid := bloom.AsString(r.Row[1])
+		out[reqid] = bloom.AsString(r.Row[2])
+	}
+	return out
+}
+
+// CrossInstanceDiff compares every replica's answer table against replica
+// 0's and returns a description of the first disagreement, or "" when all
+// replicas agree — the cross-instance nondeterminism (Inst) detector.
+func CrossInstanceDiff(res *Result, replicas int) string {
+	base := AnswerTable(res, 0)
+	for i := 1; i < replicas; i++ {
+		other := AnswerTable(res, i)
+		if d := diffTables(base, other); d != "" {
+			return fmt.Sprintf("replica 0 vs %d: %s", i, d)
+		}
+	}
+	return ""
+}
+
+// CrossRunDiff compares the answer tables of two runs replica by replica —
+// the cross-run nondeterminism (Run) detector.
+func CrossRunDiff(a, b *Result, replicas int) string {
+	for i := 0; i < replicas; i++ {
+		if d := diffTables(AnswerTable(a, i), AnswerTable(b, i)); d != "" {
+			return fmt.Sprintf("replica %d: %s", i, d)
+		}
+	}
+	return ""
+}
+
+func diffTables(a, b map[string]string) string {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, k := range ordered {
+		av, aok := a[k]
+		bv, bok := b[k]
+		if aok != bok {
+			return fmt.Sprintf("request %s answered by one side only", k)
+		}
+		if av != bv {
+			return fmt.Sprintf("request %s: %q vs %q", k, av, bv)
+		}
+	}
+	return ""
+}
+
+// GroundTruth computes the final per-request answer directly from the
+// workload plan: the total (campaign, id) click count if it passes the
+// having clause (count < threshold for CAMPAIGN/POOR/WINDOW-style queries),
+// absent otherwise. Sealed runs must match it exactly.
+func GroundTruth(w Workload, requests []Request, threshold int64) map[string]string {
+	counts := map[[2]string]int64{}
+	for _, b := range w.Plan() {
+		for _, c := range b.Clicks {
+			counts[[2]string{c.Campaign, c.ID}]++
+		}
+	}
+	out := map[string]string{}
+	for _, req := range requests {
+		n := counts[[2]string{req.Campaign, req.ID}]
+		if n > 0 && n < threshold {
+			out[req.ReqID] = fmt.Sprintf("%d", n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package adtrack implements the paper's second running example: the
+// ad-tracking network of Figures 3/4. Ad servers deliver ads and send click
+// logs to replicated reporting servers built on the Bloom runtime; analysts
+// query a caching tier. The package provides the Bloom modules (whose
+// C.O.W.R. annotations the white-box analyzer extracts automatically), the
+// synthetic workload with the paper's parameters, the four coordination
+// regimes measured in Figures 12–14 (uncoordinated, ordered, independent
+// seal, seal), and consistency checkers that make the predicted anomalies
+// observable.
+package adtrack
+
+import (
+	"fmt"
+
+	"blazes/internal/bloom"
+	"blazes/internal/dataflow"
+	"blazes/internal/fd"
+)
+
+// Click log schema: every click identifies the ad, its campaign, the hour
+// window in which it occurred, and the ad server that produced the record.
+const (
+	ColID       = "id"
+	ColCampaign = "campaign"
+	ColWindow   = "window"
+	ColServer   = "server"
+	ColSeq      = "seq"
+)
+
+// ReportModule builds the reporting-server Bloom module for one of the
+// Figure 6 queries. The module persists clicks into a log table and answers
+// requests against the query's standing result:
+//
+//	THRESH   select id from clicks group by id having count(*) > 1000
+//	POOR     select id from clicks group by id having count(*) < 100
+//	WINDOW   select window, id ... group by window, id having count(*) < 100
+//	CAMPAIGN select campaign, id ... group by campaign, id having count(*) < 100
+//
+// THRESH uses the monotone threshold operator (lattice-style aggregation),
+// which is what makes it syntactically recognizable as confluent.
+func ReportModule(query dataflow.AdQuery, threshold int64) (*bloom.Module, error) {
+	m := bloom.NewModule("Report")
+	m.Input("click", ColID, ColCampaign, ColWindow, ColServer, ColSeq)
+	m.Input("request", ColID, ColCampaign, ColWindow, "reqid")
+	m.Output("response", ColID, "reqid", "answer")
+	m.Table("clicklog", ColID, ColCampaign, ColWindow, ColServer, ColSeq)
+	m.NamedRule("persist", "clicklog", bloom.Instant, bloom.Scan("click"))
+
+	req := bloom.Scan("request")
+	switch query {
+	case dataflow.THRESH:
+		m.Scratch("hot", ColID)
+		m.NamedRule("thresh", "hot", bloom.Instant,
+			bloom.MonotoneCountAtLeast(bloom.Scan("clicklog"), []string{ColID}, threshold))
+		m.NamedRule("answer", "response", bloom.Async,
+			bloom.Project(
+				bloom.Join(req, bloom.Scan("hot"), [2]string{ColID, ColID}),
+				bloom.Col(ColID), bloom.Col("reqid"), bloom.ConstCol("answer", bloom.S("hot"))))
+	case dataflow.POOR:
+		m.Scratch("poor", ColID, "cnt")
+		m.NamedRule("poor", "poor", bloom.Instant,
+			bloom.GroupBy(bloom.Scan("clicklog"), []string{ColID}, bloom.Agg{Func: bloom.Count, As: "cnt"}).
+				WithHaving(bloom.Where("cnt", bloom.LT, bloom.I(threshold))))
+		m.NamedRule("answer", "response", bloom.Async,
+			bloom.Project(
+				bloom.Join(req, bloom.Scan("poor"), [2]string{ColID, ColID}),
+				bloom.Col(ColID), bloom.Col("reqid"), bloom.ColAs("cnt", "answer")))
+	case dataflow.WINDOW:
+		m.Scratch("wpoor", ColWindow, ColID, "cnt")
+		m.NamedRule("window", "wpoor", bloom.Instant,
+			bloom.GroupBy(bloom.Scan("clicklog"), []string{ColWindow, ColID}, bloom.Agg{Func: bloom.Count, As: "cnt"}).
+				WithHaving(bloom.Where("cnt", bloom.LT, bloom.I(threshold))))
+		m.NamedRule("answer", "response", bloom.Async,
+			bloom.Project(
+				bloom.Join(req, bloom.Scan("wpoor"), [2]string{ColID, ColID}, [2]string{ColWindow, ColWindow}),
+				bloom.Col(ColID), bloom.Col("reqid"), bloom.ColAs("cnt", "answer")))
+	case dataflow.CAMPAIGN:
+		m.Scratch("cpoor", ColCampaign, ColID, "cnt")
+		m.NamedRule("campaign", "cpoor", bloom.Instant,
+			bloom.GroupBy(bloom.Scan("clicklog"), []string{ColCampaign, ColID}, bloom.Agg{Func: bloom.Count, As: "cnt"}).
+				WithHaving(bloom.Where("cnt", bloom.LT, bloom.I(threshold))))
+		m.NamedRule("answer", "response", bloom.Async,
+			bloom.Project(
+				bloom.Join(req, bloom.Scan("cpoor"), [2]string{ColID, ColID}, [2]string{ColCampaign, ColCampaign}),
+				bloom.Col(ColID), bloom.Col("reqid"), bloom.ColAs("cnt", "answer")))
+	default:
+		return nil, fmt.Errorf("adtrack: unknown query %q", query)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CacheModule builds the caching-tier Bloom module: answers from its
+// append-only store on a hit, forwards requests to a reporting server, and
+// propagates arriving responses to the analyst and (via the replicated
+// response stream) to peer caches.
+func CacheModule() (*bloom.Module, error) {
+	m := bloom.NewModule("Cache")
+	m.Input("request", ColID, ColCampaign, ColWindow, "reqid")
+	m.Input("response_in", ColID, "reqid", "answer")
+	m.Output("response_out", ColID, "reqid", "answer")
+	m.Output("request_out", ColID, ColCampaign, ColWindow, "reqid")
+	m.Table("answers", ColID, "answer")
+
+	// Hit: answer directly from the store.
+	m.NamedRule("hit", "response_out", bloom.Async,
+		bloom.Project(
+			bloom.Join(bloom.Scan("request"), bloom.Scan("answers"), [2]string{ColID, ColID}),
+			bloom.Col(ColID), bloom.Col("reqid"), bloom.Col("answer")))
+	// Arriving responses populate the store (append-only, first-writer
+	// wins per (id, answer) row) and flow to the analyst/gossip stream.
+	m.NamedRule("learn", "answers", bloom.Instant,
+		bloom.Project(bloom.Scan("response_in"), bloom.Col(ColID), bloom.Col("answer")))
+	m.NamedRule("forward", "response_out", bloom.Async, bloom.Scan("response_in"))
+	// Misses: forward to a reporting server (monotone forward-all; hits
+	// are answered twice, deduplicated by reqid at the analyst).
+	m.NamedRule("miss", "request_out", bloom.Async, bloom.Scan("request"))
+
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Graph assembles the white-box dataflow for the ad network: both modules
+// analyzed automatically, wired per Figure 4, with the click source
+// optionally sealed.
+func Graph(query dataflow.AdQuery, sealKey ...string) (*dataflow.Graph, error) {
+	report, err := ReportModule(query, 100)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := CacheModule()
+	if err != nil {
+		return nil, err
+	}
+	ra, err := bloom.Analyze(report)
+	if err != nil {
+		return nil, err
+	}
+	ca, err := bloom.Analyze(cache)
+	if err != nil {
+		return nil, err
+	}
+
+	g := dataflow.NewGraph("adtrack-" + string(query))
+	ra.Component(g, true)
+	ca.Component(g, true)
+
+	clicks := g.Source("clicks", "Report", "click")
+	if len(sealKey) > 0 {
+		clicks.Seal = fd.NewAttrSet(sealKey...)
+	}
+	g.Source("analyst-q", "Cache", "request")
+	g.Connect("q", "Cache", "request_out", "Report", "request")
+	g.Connect("r", "Report", "response", "Cache", "response_in")
+	g.Connect("gossip", "Cache", "response_out", "Cache", "response_in")
+	g.Sink("analyst-r", "Cache", "response_out")
+	return g, nil
+}

@@ -1,0 +1,255 @@
+package adtrack
+
+import (
+	"testing"
+
+	"blazes/internal/bloom"
+	"blazes/internal/core"
+	"blazes/internal/dataflow"
+)
+
+// TestWhiteBoxExtractionMatchesPaperAnnotations reproduces the Section
+// VI-B1 annotation file automatically: the Bloom analyzer must derive the
+// same C.O.W.R. labels the paper's authors wrote by hand.
+func TestWhiteBoxExtractionMatchesPaperAnnotations(t *testing.T) {
+	tests := []struct {
+		query   dataflow.AdQuery
+		wantReq string
+		wantClk string
+	}{
+		{dataflow.THRESH, "CR", "CW"},
+		{dataflow.POOR, "OR(id)", "CW"},
+		{dataflow.WINDOW, "OR(id,window)", "CW"},
+		{dataflow.CAMPAIGN, "OR(campaign,id)", "CW"},
+	}
+	for _, tt := range tests {
+		t.Run(string(tt.query), func(t *testing.T) {
+			mod, err := ReportModule(tt.query, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := bloom.Analyze(mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]string{}
+			for _, p := range a.Paths {
+				got[p.From+"→"+p.To] = p.Ann.String()
+			}
+			if got["request→response"] != tt.wantReq {
+				t.Errorf("request→response = %s, want %s", got["request→response"], tt.wantReq)
+			}
+			if got["click→response"] != tt.wantClk {
+				t.Errorf("click→response = %s, want %s", got["click→response"], tt.wantClk)
+			}
+		})
+	}
+}
+
+func TestWhiteBoxCacheMatchesPaper(t *testing.T) {
+	mod, err := CacheModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bloom.Analyze(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"request→response_out":     "CR",
+		"response_in→response_out": "CW",
+		"request→request_out":      "CR",
+	}
+	got := map[string]string{}
+	for _, p := range a.Paths {
+		got[p.From+"→"+p.To] = p.Ann.String()
+	}
+	for path, ann := range want {
+		if got[path] != ann {
+			t.Errorf("%s = %s, want %s", path, got[path], ann)
+		}
+	}
+	if _, spurious := got["response_in→request_out"]; spurious {
+		t.Error("footnote 3 violated: response→request path must not exist")
+	}
+}
+
+// TestWhiteBoxGraphVerdicts runs the full Blazes analysis over the
+// automatically annotated dataflow and reproduces the Section VI-B2
+// verdicts with zero manual annotations.
+func TestWhiteBoxGraphVerdicts(t *testing.T) {
+	tests := []struct {
+		query   dataflow.AdQuery
+		seal    []string
+		verdict core.Label
+	}{
+		{dataflow.THRESH, nil, core.Async},
+		{dataflow.POOR, nil, core.Diverge},
+		{dataflow.POOR, []string{ColCampaign}, core.Diverge},
+		{dataflow.CAMPAIGN, []string{ColCampaign}, core.Async},
+		{dataflow.WINDOW, []string{ColWindow}, core.Async},
+		{dataflow.WINDOW, nil, core.Diverge},
+	}
+	for _, tt := range tests {
+		name := string(tt.query)
+		if len(tt.seal) > 0 {
+			name += "+seal"
+		}
+		t.Run(name, func(t *testing.T) {
+			g, err := Graph(tt.query, tt.seal...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := dataflow.Analyze(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Verdict.Equal(tt.verdict) {
+				t.Errorf("verdict = %s, want %s\n%s", a.Verdict, tt.verdict, a.Explain())
+			}
+		})
+	}
+}
+
+// TestWhiteBoxSynthesisSelectsSealForCampaign: end-to-end white box —
+// modules in, seal-based strategy out.
+func TestWhiteBoxSynthesisSelectsSealForCampaign(t *testing.T) {
+	g, err := Graph(dataflow.CAMPAIGN, ColCampaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dataflow.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := dataflow.Synthesize(a, dataflow.SynthesisOptions{})
+	foundSeal := false
+	for _, st := range sts {
+		if st.Component == "Report" && st.Mechanism == dataflow.CoordSealed {
+			foundSeal = true
+		}
+	}
+	if !foundSeal {
+		t.Errorf("strategies = %v, want seal-based coordination at Report", sts)
+	}
+}
+
+// TestReportModuleAnswersQueries sanity-checks the runtime behaviour of
+// each query against a tiny hand-computed log.
+func TestReportModuleAnswersQueries(t *testing.T) {
+	clicks := []bloom.Row{
+		{bloom.S("ad1"), bloom.S("c1"), bloom.S("w1"), bloom.S("s1"), bloom.I(0)},
+		{bloom.S("ad1"), bloom.S("c1"), bloom.S("w1"), bloom.S("s2"), bloom.I(1)},
+		{bloom.S("ad1"), bloom.S("c1"), bloom.S("w2"), bloom.S("s1"), bloom.I(2)},
+		{bloom.S("ad2"), bloom.S("c2"), bloom.S("w1"), bloom.S("s1"), bloom.I(3)},
+	}
+	request := bloom.Row{bloom.S("ad1"), bloom.S("c1"), bloom.S("w1"), bloom.S("r1")}
+
+	run := func(q dataflow.AdQuery, threshold int64) []bloom.Row {
+		mod, err := ReportModule(q, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := bloom.NewNode("n", mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Deliver("click", clicks...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Deliver("request", request); err != nil {
+			t.Fatal(err)
+		}
+		em, err := n.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range em {
+			if e.Collection == "response" {
+				return e.Rows
+			}
+		}
+		return nil
+	}
+
+	// POOR: ad1 has 3 clicks < 100 ⇒ answered with count 3.
+	rows := run(dataflow.POOR, 100)
+	if len(rows) != 1 || bloom.AsString(rows[0][2]) != "3" {
+		t.Errorf("POOR rows = %v, want count 3", rows)
+	}
+	// POOR with threshold 3: 3 clicks not < 3 ⇒ no answer.
+	if rows := run(dataflow.POOR, 3); len(rows) != 0 {
+		t.Errorf("POOR(3) rows = %v, want none", rows)
+	}
+	// WINDOW: (w1, ad1) has 2 clicks ⇒ count 2.
+	rows = run(dataflow.WINDOW, 100)
+	if len(rows) != 1 || bloom.AsString(rows[0][2]) != "2" {
+		t.Errorf("WINDOW rows = %v, want count 2", rows)
+	}
+	// CAMPAIGN: (c1, ad1) has 3 clicks ⇒ count 3.
+	rows = run(dataflow.CAMPAIGN, 100)
+	if len(rows) != 1 || bloom.AsString(rows[0][2]) != "3" {
+		t.Errorf("CAMPAIGN rows = %v, want count 3", rows)
+	}
+	// THRESH with threshold 2: ad1 (3 clicks) is hot.
+	rows = run(dataflow.THRESH, 2)
+	if len(rows) != 1 || bloom.AsString(rows[0][2]) != "hot" {
+		t.Errorf("THRESH rows = %v, want hot", rows)
+	}
+	// THRESH with threshold 10: nothing hot.
+	if rows := run(dataflow.THRESH, 10); len(rows) != 0 {
+		t.Errorf("THRESH(10) rows = %v, want none", rows)
+	}
+}
+
+func TestWorkloadPlanInvariants(t *testing.T) {
+	for _, independent := range []bool{true, false} {
+		w := DefaultWorkload(5, independent)
+		w.EntriesPerServer = 100
+		bursts := w.Plan()
+
+		perServer := map[string]int{}
+		sealsPer := map[string]map[string]bool{}
+		for _, b := range bursts {
+			perServer[b.Server] += len(b.Clicks)
+			for _, c := range b.Clicks {
+				if c.Server != b.Server {
+					t.Fatalf("click attributed to wrong server: %v in burst of %s", c, b.Server)
+				}
+			}
+			for _, seal := range b.Seals {
+				if sealsPer[b.Server] == nil {
+					sealsPer[b.Server] = map[string]bool{}
+				}
+				if sealsPer[b.Server][seal] {
+					t.Fatalf("server %s sealed %s twice", b.Server, seal)
+				}
+				sealsPer[b.Server][seal] = true
+			}
+		}
+		for s, n := range perServer {
+			if n != 100 {
+				t.Errorf("independent=%v server %s produced %d records, want 100", independent, s, n)
+			}
+		}
+		// Every producing server seals every campaign it produces.
+		for campaign, producers := range w.Producers() {
+			for _, p := range producers {
+				if !sealsPer[p][campaign] {
+					t.Errorf("independent=%v: %s never sealed %s", independent, p, campaign)
+				}
+			}
+		}
+		// Independent partitioning: exactly one producer per campaign.
+		if independent {
+			for campaign, producers := range w.Producers() {
+				if len(producers) != 1 {
+					t.Errorf("campaign %s has %d producers, want 1", campaign, len(producers))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,495 @@
+package adtrack
+
+import (
+	"fmt"
+	"sort"
+
+	"blazes/internal/bloom"
+	"blazes/internal/coord"
+	"blazes/internal/dataflow"
+	"blazes/internal/sim"
+)
+
+// Regime is the coordination strategy under which the ad network runs — the
+// three configurations measured in Section VIII-B (the two seal lines of
+// Figure 14 differ in workload partitioning, not in protocol).
+type Regime int
+
+const (
+	// Uncoordinated delivers clicks and requests directly; fastest, but
+	// replicas may disagree (the paper confirmed inconsistent answers).
+	Uncoordinated Regime = iota
+	// Ordered routes every click and request through the totally ordered
+	// messaging service, so all replicas process the same sequence.
+	Ordered
+	// Sealed buffers each campaign partition until its producers have all
+	// punctuated it (unanimous vote), then processes it atomically;
+	// requests for a campaign are held until that campaign seals.
+	Sealed
+)
+
+// String names the regime as in the figures.
+func (r Regime) String() string {
+	switch r {
+	case Uncoordinated:
+		return "uncoordinated"
+	case Ordered:
+		return "ordered"
+	default:
+		return "sealed"
+	}
+}
+
+// Config parameterizes one ad-network run.
+type Config struct {
+	// Seed drives all network nondeterminism.
+	Seed int64
+	// Workload is the ad-server click plan.
+	Workload Workload
+	// Query selects the reporting query (CAMPAIGN in the paper's runs).
+	Query dataflow.AdQuery
+	// Threshold is the query's having threshold.
+	Threshold int64
+	// Replicas is the number of reporting servers (3 in the paper).
+	Replicas int
+	// Requests is the number of analyst requests to pose.
+	Requests int
+	// RequestSpacing is the interval between requests.
+	RequestSpacing sim.Time
+	// Regime selects the coordination strategy.
+	Regime Regime
+	// ProcessCost is the per-record ingestion cost at a replica (models
+	// the Bloom prototype's interpretation overhead).
+	ProcessCost sim.Time
+	// Link shapes the direct adserver→replica and analyst→replica links.
+	Link sim.LinkConfig
+	// Sequencer configures the ordering service (Ordered regime). The
+	// per-operation cost models quorum appends at the coordination
+	// service and is the serialization bottleneck the sealed strategies
+	// avoid.
+	Sequencer coord.SequencerConfig
+	// BackpressureThreshold is the sequencer queue delay above which
+	// clients throttle and retry (Ordered regime).
+	BackpressureThreshold sim.Time
+}
+
+// DefaultConfig mirrors the paper's setup for the given number of ad
+// servers.
+func DefaultConfig(adServers int, regime Regime, independent bool) Config {
+	seq := coord.DefaultSequencer
+	seq.ProcessingCost = 4 * sim.Millisecond // quorum append at the service
+	return Config{
+		Seed:                  1,
+		Workload:              DefaultWorkload(adServers, independent),
+		Query:                 dataflow.CAMPAIGN,
+		Threshold:             100,
+		Replicas:              3,
+		Requests:              20,
+		RequestSpacing:        500 * sim.Millisecond,
+		Regime:                regime,
+		ProcessCost:           500 * sim.Microsecond,
+		Link:                  sim.LinkConfig{MinDelay: 500 * sim.Microsecond, MaxDelay: 8 * sim.Millisecond},
+		Sequencer:             seq,
+		BackpressureThreshold: 250 * sim.Millisecond,
+	}
+}
+
+// Point is one sample of ingestion progress.
+type Point struct {
+	At      sim.Time
+	Records int
+}
+
+// Series is a cumulative progress curve — the y-axis of Figures 12–14.
+type Series []Point
+
+// Final returns the last cumulative value.
+func (s Series) Final() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1].Records
+}
+
+// At interpolates the cumulative value at time t (step function).
+func (s Series) At(t sim.Time) int {
+	val := 0
+	for _, p := range s {
+		if p.At > t {
+			break
+		}
+		val = p.Records
+	}
+	return val
+}
+
+// Response is one answer emitted by a replica.
+type Response struct {
+	Replica int
+	Row     bloom.Row
+	At      sim.Time
+}
+
+// Result is the outcome of one ad-network run.
+type Result struct {
+	// Series is replica 0's cumulative processed-log-records curve.
+	Series Series
+	// FinishedAt is when the last replica finished ingesting all records.
+	FinishedAt sim.Time
+	// RegistryLookups counts seal-protocol registry calls (one per
+	// campaign per replica expected).
+	RegistryLookups int
+	// Responses collects every response emitted, tagged by replica.
+	Responses []Response
+	// LogSizes is each replica's final click-log cardinality.
+	LogSizes []int
+	// Held reports requests still held at run end (sealed regime, when a
+	// campaign never sealed).
+	Held int
+	// BufferSum and BufferCount accumulate, at replica 0, the time each
+	// click record spent buffered awaiting its partition's seal — the
+	// latency cost of low coordination locality that separates Figure
+	// 14's two curves.
+	BufferSum   sim.Time
+	BufferCount int
+}
+
+// AvgBufferTime is the mean time a record waited for its partition to seal.
+func (r *Result) AvgBufferTime() sim.Time {
+	if r.BufferCount == 0 {
+		return 0
+	}
+	return r.BufferSum / sim.Time(r.BufferCount)
+}
+
+// workItem is one element of a replica's serialized input queue: a click
+// record or a request. Keeping both in one queue preserves the relative
+// order in which they reached the replica — essential for the ordering
+// regime's guarantee that all replicas process the same interleaving.
+type workItem struct {
+	click *Click
+	req   *Request
+}
+
+// replica is one reporting server instance in the simulation.
+type replica struct {
+	idx       int
+	node      *bloom.Node
+	busyUntil sim.Time
+	draining  bool
+	pending   []workItem
+	ingested  int
+	series    Series
+	// Sealed-regime state.
+	tracker *coord.SealTracker
+	held    map[string][]Request
+	looked  map[string]bool
+	// arrivals records per-campaign data arrival times until release.
+	arrivals map[string][]sim.Time
+	// fifo enforces per-producer in-order delivery (punctuations are
+	// embedded in the stream; a seal must not overtake its data).
+	fifo map[string]sim.Time
+}
+
+// Run executes one ad-network run to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Replicas <= 0 {
+		return nil, fmt.Errorf("adtrack: Replicas must be positive")
+	}
+	s := sim.New(cfg.Seed)
+	res := &Result{}
+
+	replicas := make([]*replica, cfg.Replicas)
+	for i := range replicas {
+		mod, err := ReportModule(cfg.Query, cfg.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		node, err := bloom.NewNode(fmt.Sprintf("report%d", i), mod)
+		if err != nil {
+			return nil, err
+		}
+		replicas[i] = &replica{
+			idx:      i,
+			node:     node,
+			held:     map[string][]Request{},
+			looked:   map[string]bool{},
+			arrivals: map[string][]sim.Time{},
+			fifo:     map[string]sim.Time{},
+		}
+	}
+
+	bursts := cfg.Workload.Plan()
+	requests := cfg.Workload.RequestPlan(cfg.Requests, cfg.RequestSpacing)
+
+	linkDelay := func() sim.Time {
+		d := cfg.Link.MinDelay
+		if span := cfg.Link.MaxDelay - cfg.Link.MinDelay; span > 0 {
+			d += sim.Time(s.Rand().Int63n(int64(span) + 1))
+		}
+		return d
+	}
+
+	var tickErr error
+	fail := func(err error) {
+		if tickErr == nil {
+			tickErr = err
+		}
+	}
+
+	// collectTick runs one Bloom timestep on a replica and harvests
+	// responses.
+	collectTick := func(r *replica) {
+		em, err := r.node.Tick()
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, e := range em {
+			if e.Collection != "response" {
+				continue
+			}
+			for _, row := range e.Rows {
+				res.Responses = append(res.Responses, Response{Replica: r.idx, Row: row, At: s.Now()})
+			}
+		}
+	}
+
+	// drain serializes a replica's work queue: clicks cost ProcessCost
+	// each; a request triggers a Bloom timestep at its queue position, so
+	// the interleaving of clicks and requests is faithfully preserved.
+	var drain func(r *replica)
+	drain = func(r *replica) {
+		if r.draining || len(r.pending) == 0 {
+			return
+		}
+		r.draining = true
+		var clicks []bloom.Row
+		i := 0
+		for ; i < len(r.pending); i++ {
+			if r.pending[i].req != nil {
+				break
+			}
+			clicks = append(clicks, r.pending[i].click.Row())
+		}
+		var req *Request
+		if i < len(r.pending) {
+			req = r.pending[i].req
+			i++
+		}
+		r.pending = r.pending[i:]
+
+		start := s.Now()
+		if r.busyUntil > start {
+			start = r.busyUntil
+		}
+		done := start + sim.Time(len(clicks))*cfg.ProcessCost
+		r.busyUntil = done
+		s.At(done, func() {
+			if len(clicks) > 0 {
+				if err := r.node.Deliver("click", clicks...); err != nil {
+					fail(err)
+					return
+				}
+				r.ingested += len(clicks)
+				r.series = append(r.series, Point{At: s.Now(), Records: r.ingested})
+			}
+			if req != nil {
+				if err := r.node.Deliver("request", req.Row()); err != nil {
+					fail(err)
+					return
+				}
+				collectTick(r)
+			}
+			r.draining = false
+			drain(r)
+		})
+	}
+	enqueueClick := func(r *replica, c Click) {
+		r.pending = append(r.pending, workItem{click: &c})
+		drain(r)
+	}
+	enqueueRequest := func(r *replica, req Request) {
+		r.pending = append(r.pending, workItem{req: &req})
+		drain(r)
+	}
+
+	switch cfg.Regime {
+	case Uncoordinated:
+		// Every click travels independently: reordering across records
+		// and across replicas.
+		for _, b := range bursts {
+			b := b
+			s.At(b.At, func() {
+				for _, c := range b.Clicks {
+					for _, r := range replicas {
+						c, r := c, r
+						s.After(linkDelay(), func() { enqueueClick(r, c) })
+					}
+				}
+			})
+		}
+		for _, req := range requests {
+			req := req
+			s.At(req.At, func() {
+				for _, r := range replicas {
+					r := r
+					s.After(linkDelay(), func() { enqueueRequest(r, req) })
+				}
+			})
+		}
+
+	case Ordered:
+		seq := coord.NewSequencer(s, cfg.Sequencer)
+		for _, r := range replicas {
+			r := r
+			seq.Subscribe(func(m coord.Sequenced) {
+				switch v := m.Msg.(type) {
+				case Click:
+					enqueueClick(r, v)
+				case Request:
+					enqueueRequest(r, v)
+				}
+			})
+		}
+		// Clients throttle when the service queue grows (connection
+		// backpressure): a burst finding the queue deep defers itself.
+		var submitBurst func(b Burst)
+		submitBurst = func(b Burst) {
+			if d := seq.QueueDelay(); d > cfg.BackpressureThreshold {
+				backoff := d + sim.Time(s.Rand().Int63n(int64(d)+1))
+				s.After(backoff, func() { submitBurst(b) })
+				return
+			}
+			for _, c := range b.Clicks {
+				seq.Submit(c)
+			}
+		}
+		for _, b := range bursts {
+			b := b
+			s.At(b.At, func() { submitBurst(b) })
+		}
+		for _, req := range requests {
+			req := req
+			s.At(req.At, func() { seq.Submit(req) })
+		}
+
+	case Sealed:
+		registry := coord.NewRegistry(s, cfg.Link)
+		for campaign, producers := range cfg.Workload.Producers() {
+			for _, p := range producers {
+				registry.Register(campaign, p)
+			}
+		}
+		for _, r := range replicas {
+			r := r
+			r.tracker = coord.NewSealTracker(func(partition string, msgs []any) {
+				if r.idx == 0 {
+					for _, at := range r.arrivals[partition] {
+						res.BufferSum += s.Now() - at
+						res.BufferCount++
+					}
+					delete(r.arrivals, partition)
+				}
+				for _, m := range msgs {
+					enqueueClick(r, m.(Click))
+				}
+				for _, req := range r.held[partition] {
+					enqueueRequest(r, req)
+				}
+				delete(r.held, partition)
+			})
+		}
+		lookup := func(r *replica, campaign string) {
+			if r.looked[campaign] {
+				return
+			}
+			r.looked[campaign] = true
+			registry.Lookup(campaign, func(producers []string) {
+				r.tracker.SetExpected(campaign, producers)
+			})
+		}
+		// Per-(producer, replica) FIFO delivery: punctuations are embedded
+		// in the producer's stream and must not overtake its data.
+		fifoDeliver := func(r *replica, server string, fn func()) {
+			at := s.Now() + linkDelay()
+			if prev := r.fifo[server]; at < prev {
+				at = prev
+			}
+			r.fifo[server] = at
+			s.At(at, fn)
+		}
+		for _, b := range bursts {
+			b := b
+			s.At(b.At, func() {
+				for _, r := range replicas {
+					r := r
+					for _, c := range b.Clicks {
+						c := c
+						fifoDeliver(r, b.Server, func() {
+							lookup(r, c.Campaign)
+							if r.idx == 0 {
+								r.arrivals[c.Campaign] = append(r.arrivals[c.Campaign], s.Now())
+							}
+							r.tracker.Data(c.Campaign, c)
+						})
+					}
+					for _, campaign := range b.Seals {
+						campaign := campaign
+						server := b.Server
+						fifoDeliver(r, server, func() {
+							lookup(r, campaign)
+							r.tracker.Seal(coord.Punctuation{Partition: campaign, Producer: server})
+						})
+					}
+				}
+			})
+		}
+		for _, req := range requests {
+			req := req
+			s.At(req.At, func() {
+				for _, r := range replicas {
+					r := r
+					s.After(linkDelay(), func() {
+						if r.tracker.Sealed(req.Campaign) {
+							enqueueRequest(r, req)
+						} else {
+							r.held[req.Campaign] = append(r.held[req.Campaign], req)
+						}
+					})
+				}
+			})
+		}
+		defer func() { res.RegistryLookups = registry.Lookups() }()
+	}
+
+	s.Run()
+	if tickErr != nil {
+		return nil, tickErr
+	}
+
+	// Final bookkeeping: flush one tick per replica so trailing deliveries
+	// reach the log, then collect results. FinishedAt measures record
+	// ingestion (the paper's y-axis), not the analyst-request tail.
+	for _, r := range replicas {
+		if r.node.Pending() {
+			collectTick(r)
+		}
+		res.LogSizes = append(res.LogSizes, r.node.Size("clicklog"))
+		res.Held += len(r.held)
+		if n := len(r.series); n > 0 && r.series[n-1].At > res.FinishedAt {
+			res.FinishedAt = r.series[n-1].At
+		}
+	}
+	if tickErr != nil {
+		return nil, tickErr
+	}
+	res.Series = replicas[0].series
+	sort.Slice(res.Responses, func(i, j int) bool {
+		if res.Responses[i].At != res.Responses[j].At {
+			return res.Responses[i].At < res.Responses[j].At
+		}
+		return res.Responses[i].Replica < res.Responses[j].Replica
+	})
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package bloom
+
+import (
+	"testing"
+
+	"blazes/internal/fd"
+)
+
+// reportLike builds the shape of the paper's reporting server: clicks are
+// persisted to a log; a standing aggregation over the log answers requests.
+func reportLike(having Pred) *Module {
+	m := NewModule("report")
+	m.Input("click", "id", "campaign")
+	m.Input("request", "id", "reqid")
+	m.Output("response", "id", "reqid", "cnt")
+	m.Table("clicklog", "id", "campaign")
+	m.Scratch("counts", "id", "campaign", "cnt")
+	m.Rule("clicklog", Instant, Scan("click"))
+	m.Rule("counts", Instant,
+		GroupBy(Scan("clicklog"), []string{"id", "campaign"}, Agg{Func: Count, As: "cnt"}).WithHaving(having))
+	m.Rule("response", Async,
+		Project(Join(Scan("request"), Scan("counts"), [2]string{"id", "id"}),
+			Col("id"), Col("reqid"), Col("cnt")))
+	return m
+}
+
+func findPath(t *testing.T, a *ModuleAnalysis, from, to string) PathAnnotation {
+	t.Helper()
+	for _, p := range a.Paths {
+		if p.From == from && p.To == to {
+			return p
+		}
+	}
+	t.Fatalf("no path %s→%s in %v", from, to, a.Paths)
+	return PathAnnotation{}
+}
+
+// TestWhiteBoxReportAnnotations is the heart of Section VII: the analyzer
+// must derive the paper's manual annotations automatically — click→response
+// is CW (a log append), request→response is OR subscripted by the query's
+// grouping columns.
+func TestWhiteBoxReportAnnotations(t *testing.T) {
+	a, err := Analyze(reportLike(Where("cnt", LT, I(100))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	click := findPath(t, a, "click", "response")
+	if click.Ann.String() != "CW" {
+		t.Errorf("click→response = %s, want CW", click.Ann)
+	}
+	req := findPath(t, a, "request", "response")
+	if req.Ann.String() != "OR(campaign,id)" {
+		t.Errorf("request→response = %s, want OR(campaign,id)", req.Ann)
+	}
+}
+
+// TestWhiteBoxThreshIsConfluent: the monotone threshold operator (lattice
+// aggregation) yields CR for THRESH-like queries.
+func TestWhiteBoxThreshIsConfluent(t *testing.T) {
+	m := NewModule("thresh")
+	m.Input("click", "id", "campaign")
+	m.Input("request", "id", "reqid")
+	m.Output("response", "id", "reqid")
+	m.Table("clicklog", "id", "campaign")
+	m.Scratch("popular", "id")
+	m.Rule("clicklog", Instant, Scan("click"))
+	m.Rule("popular", Instant, MonotoneCountAtLeast(Scan("clicklog"), []string{"id"}, 1000))
+	m.Rule("response", Async,
+		Project(Join(Scan("request"), Scan("popular"), [2]string{"id", "id"}), Col("id"), Col("reqid")))
+
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := findPath(t, a, "request", "response"); p.Ann.String() != "CR" {
+		t.Errorf("request→response = %s, want CR (monotone threshold)", p.Ann)
+	}
+	if p := findPath(t, a, "click", "response"); p.Ann.String() != "CW" {
+		t.Errorf("click→response = %s, want CW", p.Ann)
+	}
+}
+
+// TestWhiteBoxCacheAnnotations: the caching tier derives the paper's Cache
+// annotations, including the *absence* of a response→request path
+// (footnote 3).
+func TestWhiteBoxCacheAnnotations(t *testing.T) {
+	m := NewModule("cache")
+	m.Input("request", "id", "reqid")
+	m.Input("response_in", "id", "reqid", "cnt")
+	m.Output("response_out", "id", "reqid", "cnt")
+	m.Output("request_out", "id", "reqid")
+	m.Table("answers", "id", "cnt")
+	// Hits answer from the store.
+	m.Rule("response_out", Async,
+		Project(Join(Scan("request"), Scan("answers"), [2]string{"id", "id"}),
+			Col("id"), Col("reqid"), Col("cnt")))
+	// Arriving responses update the store and are forwarded (to the
+	// analyst and, via the replicated response stream, to peer caches).
+	m.Rule("answers", Instant, Project(Scan("response_in"), Col("id"), Col("cnt")))
+	m.Rule("response_out", Async, Scan("response_in"))
+	// Misses are forwarded to a reporting server (monotone forward-all).
+	m.Rule("request_out", Async, Scan("request"))
+
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := findPath(t, a, "request", "response_out"); p.Ann.String() != "CR" {
+		t.Errorf("request→response = %s, want CR", p.Ann)
+	}
+	if p := findPath(t, a, "response_in", "response_out"); p.Ann.String() != "CW" {
+		t.Errorf("response→response = %s, want CW", p.Ann)
+	}
+	if p := findPath(t, a, "request", "request_out"); p.Ann.String() != "CR" {
+		t.Errorf("request→request = %s, want CR", p.Ann)
+	}
+	// Footnote 3: no path from response_in to request_out.
+	for _, p := range a.Paths {
+		if p.From == "response_in" && p.To == "request_out" {
+			t.Error("spurious response→request path; Cache must not close a cycle with Report")
+		}
+	}
+}
+
+func TestWhiteBoxAntiJoinGate(t *testing.T) {
+	// An antijoin's subscript is its theta columns.
+	m := NewModule("aj")
+	m.Input("req", "id")
+	m.Input("done", "id")
+	m.Output("out", "id")
+	m.Table("finished", "id")
+	m.Rule("finished", Instant, Scan("done"))
+	m.Rule("out", Async, AntiJoin(Scan("req"), Scan("finished"), [2]string{"id", "id"}))
+
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := findPath(t, a, "req", "out"); p.Ann.String() != "OR(id)" {
+		t.Errorf("req→out = %s, want OR(id)", p.Ann)
+	}
+}
+
+func TestWhiteBoxDeleteIsOWStar(t *testing.T) {
+	// Deletion mutates state nonmonotonically with unknown partitioning;
+	// a path whose deletions influence an output is OW*.
+	m := NewModule("del")
+	m.Input("rm", "v")
+	m.Input("q", "v")
+	m.Output("out", "v")
+	m.Table("t", "v")
+	m.Rule("t", Delete, Join(Scan("rm"), Scan("t"), [2]string{"v", "v"}))
+	m.Rule("out", Async, Join(Scan("q"), Scan("t"), [2]string{"v", "v"}))
+
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := findPath(t, a, "rm", "out"); p.Ann.String() != "OW*" {
+		t.Errorf("rm→out = %s, want OW*", p.Ann)
+	}
+	// The query path merely joins persisted state: CR.
+	if p := findPath(t, a, "q", "out"); p.Ann.String() != "CR" {
+		t.Errorf("q→out = %s, want CR", p.Ann)
+	}
+}
+
+func TestWhiteBoxDeleteRuleDoesNotReachOutput(t *testing.T) {
+	// A deletion that cannot influence any output leaves unrelated paths
+	// confluent: attribution is per (input, output) pair.
+	m := NewModule("del2")
+	m.Input("rm", "v")
+	m.Output("out", "v")
+	m.Table("t", "v")
+	m.Rule("t", Delete, Join(Scan("rm"), Scan("t"), [2]string{"v", "v"}))
+	m.Rule("out", Async, Scan("rm"))
+
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := findPath(t, a, "rm", "out"); p.Ann.String() != "CR" {
+		t.Errorf("rm→out = %s, want CR (the deleted table never reaches out)", p.Ann)
+	}
+}
+
+func TestWhiteBoxDisagreeingGatesDegradeToStar(t *testing.T) {
+	// Two aggregations with different grouping keys on one path: the gate
+	// is unknown.
+	m := NewModule("two")
+	m.Input("in", "a", "b")
+	m.Output("out", "a", "cnt2")
+	m.Scratch("s1", "a", "b", "cnt")
+	m.Scratch("s2", "a", "cnt2")
+	m.Rule("s1", Instant, GroupBy(Scan("in"), []string{"a", "b"}, Agg{Func: Count, As: "cnt"}))
+	m.Rule("s2", Instant, GroupBy(Scan("s1"), []string{"a"}, Agg{Func: Count, As: "cnt2"}))
+	m.Rule("out", Async, Scan("s2"))
+
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := findPath(t, a, "in", "out"); p.Ann.String() != "OR*" {
+		t.Errorf("in→out = %s, want OR* (conflicting gates)", p.Ann)
+	}
+}
+
+func TestLineageExtraction(t *testing.T) {
+	m := NewModule("lin")
+	m.Input("in", "campaign", "x")
+	m.Output("out", "camp", "x")
+	m.Rule("out", Async, Project(Scan("in"), ColAs("campaign", "camp"), Col("x")))
+
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Deps.InjectivelyDetermines(fd.NewAttrSet("campaign"), fd.NewAttrSet("camp")) {
+		t.Error("rename should record an injective dependency campaign ↣ camp")
+	}
+	// Seal on campaign must be compatible with a gate on camp.
+	if !a.Deps.Compatible(fd.NewAttrSet("camp"), fd.NewAttrSet("campaign")) {
+		t.Error("compatible(camp, campaign) should hold through the rename")
+	}
+}
+
+func TestAnalyzeComponentBridge(t *testing.T) {
+	a, err := Analyze(reportLike(Where("cnt", LT, I(100))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGraph(t, a)
+	comp := g.Lookup("report")
+	if comp == nil {
+		t.Fatal("component not installed")
+	}
+	if len(comp.Paths) != len(a.Paths) {
+		t.Errorf("paths = %d, want %d", len(comp.Paths), len(a.Paths))
+	}
+	if comp.Deps == nil || comp.OutSchema == nil {
+		t.Error("lineage and output schemas must transfer")
+	}
+}

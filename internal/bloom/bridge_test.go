@@ -1,0 +1,14 @@
+package bloom
+
+import (
+	"testing"
+
+	"blazes/internal/dataflow"
+)
+
+func newTestGraph(t *testing.T, a *ModuleAnalysis) *dataflow.Graph {
+	t.Helper()
+	g := dataflow.NewGraph("t")
+	a.Component(g, true)
+	return g
+}

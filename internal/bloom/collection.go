@@ -1,0 +1,126 @@
+package bloom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a collection's persistence and visibility semantics
+// (Bloom's collection types).
+type Kind int
+
+const (
+	// Table is persistent state: contents survive across timesteps.
+	Table Kind = iota
+	// Scratch is transient: recomputed from rules each timestep, empty at
+	// the start of every tick.
+	Scratch
+	// Channel is an asynchronous network collection: tuples inserted via
+	// <~ are sent to the network and appear at the destination in some
+	// later timestep, in nondeterministic order.
+	Channel
+	// Input is a module input interface (transient, like a scratch).
+	Input
+	// Output is a module output interface (transient).
+	Output
+)
+
+// String names the kind as in Bloom.
+func (k Kind) String() string {
+	switch k {
+	case Table:
+		return "table"
+	case Scratch:
+		return "scratch"
+	case Channel:
+		return "channel"
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Persistent reports whether contents survive the timestep.
+func (k Kind) Persistent() bool { return k == Table }
+
+// Transient reports whether the collection empties each timestep.
+func (k Kind) Transient() bool { return !k.Persistent() }
+
+// Schema is the ordered column names of a collection.
+type Schema []string
+
+// IndexOf returns the position of col, or -1.
+func (s Schema) IndexOf(col string) int {
+	for i, c := range s {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether col is in the schema.
+func (s Schema) Contains(col string) bool { return s.IndexOf(col) >= 0 }
+
+// Collection declares one named collection.
+type Collection struct {
+	Name   string
+	Kind   Kind
+	Schema Schema
+}
+
+// store is the runtime contents of a collection: a set of rows.
+type store struct {
+	rows map[string]Row
+}
+
+func newStore() *store { return &store{rows: map[string]Row{}} }
+
+// insert adds a row; reports whether it was new.
+func (s *store) insert(r Row) bool {
+	k := r.key()
+	if _, ok := s.rows[k]; ok {
+		return false
+	}
+	s.rows[k] = r.clone()
+	return true
+}
+
+// remove deletes a row; reports whether it was present.
+func (s *store) remove(r Row) bool {
+	k := r.key()
+	if _, ok := s.rows[k]; !ok {
+		return false
+	}
+	delete(s.rows, k)
+	return true
+}
+
+// contains reports membership.
+func (s *store) contains(r Row) bool {
+	_, ok := s.rows[r.key()]
+	return ok
+}
+
+// snapshot returns the rows in canonical order.
+func (s *store) snapshot() []Row {
+	keys := make([]string, 0, len(s.rows))
+	for k := range s.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Row, len(keys))
+	for i, k := range keys {
+		out[i] = s.rows[k].clone()
+	}
+	return out
+}
+
+// size reports the number of rows.
+func (s *store) size() int { return len(s.rows) }
+
+// clear empties the store.
+func (s *store) clear() { s.rows = map[string]Row{} }

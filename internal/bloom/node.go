@@ -1,0 +1,240 @@
+package bloom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Emission is a batch of rows leaving a node in one timestep: rows merged
+// asynchronously (<~) into channels, plus the contents of output
+// interfaces.
+type Emission struct {
+	Collection string
+	Rows       []Row
+}
+
+// Node is one running instance of a module: its persistent state plus the
+// timestep machinery. Nodes are driven by Deliver (network arrivals) and
+// Tick (one Bloom timestep); hosts route the returned emissions over their
+// network.
+type Node struct {
+	// ID names the node instance (e.g. "report1").
+	ID     string
+	mod    *Module
+	state  map[string]*store
+	strata map[string]int
+	// pendingIns/pendingDel apply at the start of the next tick (<+, <-,
+	// and network deliveries).
+	pendingIns map[string][]Row
+	pendingDel map[string][]Row
+	ticks      int
+}
+
+// NewNode instantiates a module. The module must validate and stratify.
+func NewNode(id string, mod *Module) (*Node, error) {
+	if err := mod.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := stratify(mod)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		ID:         id,
+		mod:        mod,
+		state:      map[string]*store{},
+		strata:     strata,
+		pendingIns: map[string][]Row{},
+		pendingDel: map[string][]Row{},
+	}
+	for _, c := range mod.Collections() {
+		n.state[c.Name] = newStore()
+	}
+	return n, nil
+}
+
+// Module returns the node's module.
+func (n *Node) Module() *Module { return n.mod }
+
+// Deliver queues rows for a collection; they become visible at the next
+// tick (asynchronous arrival).
+func (n *Node) Deliver(collection string, rows ...Row) error {
+	c := n.mod.Collection(collection)
+	if c == nil {
+		return fmt.Errorf("bloom: node %s: deliver to unknown collection %q", n.ID, collection)
+	}
+	for _, r := range rows {
+		if len(r) != len(c.Schema) {
+			return fmt.Errorf("bloom: node %s: row %v does not match %q schema %v", n.ID, r, collection, c.Schema)
+		}
+		n.pendingIns[collection] = append(n.pendingIns[collection], r.clone())
+	}
+	return nil
+}
+
+// Pending reports whether queued work exists (delivered rows or deferred
+// merges), i.e. whether a tick would make progress.
+func (n *Node) Pending() bool { return len(n.pendingIns) > 0 || len(n.pendingDel) > 0 }
+
+// Rows returns the current contents of a collection in canonical order.
+func (n *Node) Rows(collection string) []Row {
+	st, ok := n.state[collection]
+	if !ok {
+		return nil
+	}
+	return st.snapshot()
+}
+
+// Size returns a collection's cardinality.
+func (n *Node) Size(collection string) int {
+	st, ok := n.state[collection]
+	if !ok {
+		return 0
+	}
+	return st.size()
+}
+
+// Ticks reports how many timesteps have run.
+func (n *Node) Ticks() int { return n.ticks }
+
+// rowsOf implements stateReader.
+func (n *Node) rowsOf(name string) []Row { return n.state[name].snapshot() }
+
+// Tick runs one Bloom timestep:
+//
+//  1. apply queued insertions/deletions (deliveries, <+, <-);
+//  2. evaluate the instant (<=) rules to fixpoint, stratum by stratum;
+//  3. evaluate deferred (<+), delete (<-) and async (<~) rules against the
+//     fixpoint state;
+//  4. collect emissions (async merges and output-interface contents);
+//  5. clear transient collections.
+func (n *Node) Tick() ([]Emission, error) {
+	n.ticks++
+
+	// 1. Apply pending work.
+	insOrder := sortedKeys(n.pendingIns)
+	for _, coll := range insOrder {
+		st := n.state[coll]
+		for _, r := range n.pendingIns[coll] {
+			st.insert(r)
+		}
+	}
+	n.pendingIns = map[string][]Row{}
+	for _, coll := range sortedKeys(n.pendingDel) {
+		st := n.state[coll]
+		for _, r := range n.pendingDel[coll] {
+			st.remove(r)
+		}
+	}
+	n.pendingDel = map[string][]Row{}
+
+	// 2. Stratified fixpoint of instant rules.
+	maxStratum := 0
+	for _, s := range n.strata {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	for s := 0; s <= maxStratum; s++ {
+		for {
+			changed := false
+			for _, r := range n.mod.rules {
+				if r.Op != Instant || n.strata[r.Head] != s {
+					continue
+				}
+				rows, err := r.Body.eval(n.mod, n)
+				if err != nil {
+					return nil, fmt.Errorf("bloom: node %s: rule %s: %w", n.ID, r, err)
+				}
+				head := n.state[r.Head]
+				for _, row := range rows {
+					if head.insert(row) {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// 3. Deferred, delete, and async rules evaluate once on the fixpoint.
+	var emissions []Emission
+	asyncRows := map[string][]Row{}
+	for _, r := range n.mod.rules {
+		if r.Op == Instant {
+			continue
+		}
+		rows, err := r.Body.eval(n.mod, n)
+		if err != nil {
+			return nil, fmt.Errorf("bloom: node %s: rule %s: %w", n.ID, r, err)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		switch r.Op {
+		case Deferred:
+			n.pendingIns[r.Head] = append(n.pendingIns[r.Head], cloneRows(rows)...)
+		case Delete:
+			n.pendingDel[r.Head] = append(n.pendingDel[r.Head], cloneRows(rows)...)
+		case Async:
+			asyncRows[r.Head] = append(asyncRows[r.Head], cloneRows(rows)...)
+		}
+	}
+	for _, coll := range sortedKeys(asyncRows) {
+		emissions = append(emissions, Emission{Collection: coll, Rows: dedup(asyncRows[coll])})
+	}
+
+	// 4. Output interfaces emit their fixpoint contents.
+	for _, out := range n.mod.Outputs() {
+		if rows := n.state[out].snapshot(); len(rows) > 0 {
+			emissions = append(emissions, Emission{Collection: out, Rows: rows})
+		}
+	}
+
+	// 5. Clear transients.
+	for _, c := range n.mod.Collections() {
+		if c.Kind.Transient() {
+			n.state[c.Name].clear()
+		}
+	}
+	return emissions, nil
+}
+
+// Drain ticks until no queued work remains, returning all emissions. The
+// step limit guards against non-quiescing programs.
+func (n *Node) Drain(maxTicks int) ([]Emission, error) {
+	var out []Emission
+	for i := 0; i < maxTicks; i++ {
+		if !n.Pending() && i > 0 {
+			return out, nil
+		}
+		em, err := n.Tick()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, em...)
+		if !n.Pending() {
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("bloom: node %s did not quiesce within %d ticks", n.ID, maxTicks)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cloneRows(rows []Row) []Row {
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.clone()
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package bloom is a Bloom-like declarative runtime (modelled on Bud): a
+// program is a set of collections — persistent tables, per-timestep
+// scratches, and network channels — and rules over a small relational
+// algebra, evaluated to fixpoint each timestep. The package also implements
+// the paper's "white box" static analysis (Section VII): monotonicity and
+// state analyses that derive each module's C.O.W.R. annotations and
+// partition subscripts automatically, plus the lineage catalog that detects
+// injective functional dependencies for seal compatibility.
+//
+// The repro band for this paper notes that Go lacks the algebraic data
+// types of the Ruby-embedded Bloom DSL; rules are therefore expressed as an
+// explicit typed AST (package-level constructors like Scan, Project, Join,
+// GroupBy, AntiJoin), which is exactly what makes the same static analyses
+// possible.
+package bloom
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Val is a field value: a string or an int64.
+type Val any
+
+// S wraps a string value.
+func S(s string) Val { return s }
+
+// I wraps an integer value.
+func I(i int64) Val { return i }
+
+// AsInt converts a Val to int64 when possible.
+func AsInt(v Val) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case string:
+		n, err := strconv.ParseInt(x, 10, 64)
+		return n, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsString renders a Val.
+func AsString(v Val) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case int:
+		return strconv.Itoa(x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// valsEqual compares two Vals, letting int64 and numeric strings unify only
+// when both are the same dynamic type (tuples are structured data, not
+// text).
+func valsEqual(a, b Val) bool { return a == b }
+
+// compareVals orders two Vals: ints numerically, strings lexicographically,
+// ints before strings across types (a stable arbitrary choice).
+func compareVals(a, b Val) int {
+	ai, aok := a.(int64)
+	bi, bok := b.(int64)
+	switch {
+	case aok && bok:
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	case aok:
+		return -1
+	case bok:
+		return 1
+	default:
+		return strings.Compare(AsString(a), AsString(b))
+	}
+}
+
+// Row is one tuple.
+type Row []Val
+
+// key encodes a row canonically for set membership.
+func (r Row) key() string {
+	var b strings.Builder
+	for _, v := range r {
+		switch x := v.(type) {
+		case int64:
+			b.WriteString("i")
+			b.WriteString(strconv.FormatInt(x, 10))
+		case string:
+			b.WriteString("s")
+			b.WriteString(strconv.Itoa(len(x)))
+			b.WriteString(":")
+			b.WriteString(x)
+		default:
+			b.WriteString("o")
+			b.WriteString(fmt.Sprintf("%v", x))
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// clone copies the row.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = AsString(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SortRows orders rows canonically (for deterministic iteration and
+// comparison in tests).
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key() < rows[j].key() })
+}
+
+// RowsEqual reports set equality of two row slices.
+func RowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int, len(a))
+	for _, r := range a {
+		seen[r.key()]++
+	}
+	for _, r := range b {
+		seen[r.key()]--
+		if seen[r.key()] < 0 {
+			return false
+		}
+	}
+	return true
+}

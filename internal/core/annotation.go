@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"blazes/internal/fd"
+)
+
+// Annotation is a C.O.W.R. component-path annotation (Figure 7): a path from
+// an input interface to an output interface is either Confluent or
+// Order-sensitive, and either changes component state (a Write path) or does
+// not (a Read-only path). Order-sensitive paths carry a gate — the partition
+// attributes over which the non-confluent logic operates; GateStar marks the
+// OR*/OW* annotations, meaning the partitioning is unknown and every record
+// must be assumed to be its own partition.
+type Annotation struct {
+	Confluent bool
+	Write     bool
+	// Gate is the partition subscript for OR/OW paths. Ignored for
+	// confluent paths.
+	Gate fd.AttrSet
+	// GateStar marks OR*/OW*: the programmer does not know the partitions,
+	// so no seal can ever be compatible.
+	GateStar bool
+}
+
+// The four C.O.W.R. annotations. Order-sensitive annotations with a gate are
+// built with ORGate/OWGate.
+var (
+	// CR: confluent, stateless (severity 1 in Figure 7).
+	CR = Annotation{Confluent: true, Write: false}
+	// CW: confluent, stateful (severity 2).
+	CW = Annotation{Confluent: true, Write: true}
+)
+
+// ORGate returns the OR_gate annotation: order-sensitive, read-only,
+// partitioned on the given attributes.
+func ORGate(gate ...string) Annotation {
+	return Annotation{Write: false, Gate: fd.NewAttrSet(gate...)}
+}
+
+// OWGate returns the OW_gate annotation: order-sensitive, stateful,
+// partitioned on the given attributes.
+func OWGate(gate ...string) Annotation {
+	return Annotation{Write: true, Gate: fd.NewAttrSet(gate...)}
+}
+
+// ORStar returns OR*: order-sensitive read with unknown partitioning.
+func ORStar() Annotation { return Annotation{Write: false, GateStar: true} }
+
+// OWStar returns OW*: order-sensitive write with unknown partitioning.
+func OWStar() Annotation { return Annotation{Write: true, GateStar: true} }
+
+// Severity returns the annotation's rank in Figure 7 (1=CR .. 4=OW): paths
+// with higher severity can produce more stream anomalies. It is used when a
+// cycle is collapsed to its most severe member.
+func (a Annotation) Severity() int {
+	switch {
+	case a.Confluent && !a.Write:
+		return 1
+	case a.Confluent && a.Write:
+		return 2
+	case !a.Confluent && !a.Write:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// OrderSensitive reports whether the path is non-confluent.
+func (a Annotation) OrderSensitive() bool { return !a.Confluent }
+
+// SealCompatible reports whether an input stream sealed on key can be
+// processed deterministically by this path: the path must expose a known
+// gate with some attribute injectively determined by key under deps
+// (Section V-A1). Confluent paths are order-insensitive and vacuously
+// compatible with any seal; OR*/OW* paths are never compatible.
+func (a Annotation) SealCompatible(key fd.AttrSet, deps *fd.Set) bool {
+	if a.Confluent {
+		return true
+	}
+	if a.GateStar || a.Gate.IsEmpty() {
+		return false
+	}
+	if deps == nil {
+		deps = identityDeps(a.Gate.Union(key))
+	}
+	return deps.Compatible(a.Gate, key)
+}
+
+// identityDeps builds the trivial dependency set in which every attribute
+// injectively determines itself — the default when no lineage is supplied.
+func identityDeps(attrs fd.AttrSet) *fd.Set {
+	s := fd.NewSet()
+	s.AddIdentity(attrs.Attrs()...)
+	return s
+}
+
+// String renders the annotation in the paper's notation, e.g.
+// "OW(word,batch)" for OW_{word,batch} and "OR*" for OR*.
+func (a Annotation) String() string {
+	var b strings.Builder
+	if a.Confluent {
+		b.WriteByte('C')
+	} else {
+		b.WriteByte('O')
+	}
+	if a.Write {
+		b.WriteByte('W')
+	} else {
+		b.WriteByte('R')
+	}
+	if a.Confluent {
+		return b.String()
+	}
+	if a.GateStar {
+		b.WriteByte('*')
+	} else if !a.Gate.IsEmpty() {
+		fmt.Fprintf(&b, "(%s)", a.Gate)
+	}
+	return b.String()
+}
+
+// ParseAnnotation parses the paper's textual annotation names: "CR", "CW",
+// "OR", "OW" (optionally "OR*"/"OW*"). Subscripts are supplied separately
+// (the config format carries them in a `subscript` list).
+func ParseAnnotation(label string, subscript []string) (Annotation, error) {
+	star := strings.HasSuffix(label, "*")
+	base := strings.TrimSuffix(strings.ToUpper(strings.TrimSpace(label)), "*")
+	var a Annotation
+	switch base {
+	case "CR":
+		a = CR
+	case "CW":
+		a = CW
+	case "OR":
+		a = Annotation{Write: false}
+	case "OW":
+		a = Annotation{Write: true}
+	default:
+		return Annotation{}, fmt.Errorf("core: unknown annotation label %q", label)
+	}
+	if a.Confluent {
+		if star || len(subscript) > 0 {
+			return Annotation{}, fmt.Errorf("core: confluent annotation %q cannot carry a subscript", label)
+		}
+		return a, nil
+	}
+	if star {
+		if len(subscript) > 0 {
+			return Annotation{}, fmt.Errorf("core: %q cannot combine * with an explicit subscript", label)
+		}
+		a.GateStar = true
+		return a, nil
+	}
+	if len(subscript) == 0 {
+		// Unsubscripted OR/OW defaults to OR*/OW*: each record its own
+		// partition (Section IV-A1).
+		a.GateStar = true
+		return a, nil
+	}
+	a.Gate = fd.NewAttrSet(subscript...)
+	return a, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"blazes/internal/fd"
+)
+
+// TestFig7AnnotationTable pins the C.O.W.R. table of Figure 7: severity
+// ranks and the confluent/stateless axes.
+func TestFig7AnnotationTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		ann       Annotation
+		severity  int
+		confluent bool
+		write     bool
+		str       string
+	}{
+		{"CR", CR, 1, true, false, "CR"},
+		{"CW", CW, 2, true, true, "CW"},
+		{"OR", ORGate("id"), 3, false, false, "OR(id)"},
+		{"OW", OWGate("word", "batch"), 4, false, true, "OW(batch,word)"},
+		{"OR*", ORStar(), 3, false, false, "OR*"},
+		{"OW*", OWStar(), 4, false, true, "OW*"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.ann.Severity(); got != tt.severity {
+				t.Errorf("severity = %d, want %d", got, tt.severity)
+			}
+			if got := tt.ann.Confluent; got != tt.confluent {
+				t.Errorf("confluent = %v, want %v", got, tt.confluent)
+			}
+			if got := tt.ann.Write; got != tt.write {
+				t.Errorf("write = %v, want %v", got, tt.write)
+			}
+			if got := tt.ann.String(); got != tt.str {
+				t.Errorf("String = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestSealCompatible(t *testing.T) {
+	tests := []struct {
+		name string
+		ann  Annotation
+		key  fd.AttrSet
+		want bool
+	}{
+		{"confluent always compatible", CW, fd.NewAttrSet("x"), true},
+		{"gate superset of key", OWGate("word", "batch"), fd.NewAttrSet("batch"), true},
+		{"gate equal to key", ORGate("window"), fd.NewAttrSet("window"), true},
+		{"disjoint", ORGate("id"), fd.NewAttrSet("campaign"), false},
+		{"star never compatible", OWStar(), fd.NewAttrSet("batch"), false},
+		{"empty key incompatible", OWGate("id"), fd.NewAttrSet(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.ann.SealCompatible(tt.key, nil); got != tt.want {
+				t.Errorf("SealCompatible(%v) = %v, want %v", tt.key, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSealCompatibleWithLineage(t *testing.T) {
+	// Seal on company is compatible with a gate on symbol through an
+	// injective FD, but not with a gate on city (non-injective).
+	deps := fd.NewSet(
+		fd.NewInjectiveFD(fd.NewAttrSet("company"), fd.NewAttrSet("symbol")),
+		fd.NewFD(fd.NewAttrSet("company"), fd.NewAttrSet("city")),
+	)
+	if !ORGate("symbol").SealCompatible(fd.NewAttrSet("company"), deps) {
+		t.Error("company seal should drive symbol gate via injective FD")
+	}
+	if ORGate("city").SealCompatible(fd.NewAttrSet("company"), deps) {
+		t.Error("company seal must not drive city gate (non-injective FD)")
+	}
+}
+
+func TestParseAnnotation(t *testing.T) {
+	tests := []struct {
+		label     string
+		subscript []string
+		want      string
+		wantErr   bool
+	}{
+		{"CR", nil, "CR", false},
+		{"CW", nil, "CW", false},
+		{"cw", nil, "CW", false},
+		{"OW", []string{"word", "batch"}, "OW(batch,word)", false},
+		{"OR", []string{"id"}, "OR(id)", false},
+		{"OR", nil, "OR*", false}, // unsubscripted defaults to *
+		{"OW*", nil, "OW*", false},
+		{"OR*", []string{"id"}, "", true}, // * plus subscript is contradictory
+		{"CR", []string{"id"}, "", true},  // confluent with subscript
+		{"XX", nil, "", true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAnnotation(tt.label, tt.subscript)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseAnnotation(%q,%v): want error", tt.label, tt.subscript)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseAnnotation(%q,%v): %v", tt.label, tt.subscript, err)
+			continue
+		}
+		if got.String() != tt.want {
+			t.Errorf("ParseAnnotation(%q,%v) = %s, want %s", tt.label, tt.subscript, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"blazes/internal/fd"
+)
+
+// Rule identifies which reduction rule of Figure 9 (or which default
+// transfer) produced a derived label.
+type Rule string
+
+const (
+	// Rule1: {Async, Run} × OR_gate ⇒ NDRead_gate.
+	Rule1 Rule = "1"
+	// Rule2: {Async, Run} × OW_gate ⇒ Taint.
+	Rule2 Rule = "2"
+	// Rule3: Inst × (CW | OW_gate) ⇒ Taint.
+	Rule3 Rule = "3"
+	// Rule4: Seal_key × OW_gate, ¬compatible(gate, key) ⇒ Taint.
+	Rule4 Rule = "4"
+	// Rule1Seal is this implementation's documented conservative extension
+	// of Rule 1: Seal_key × OR_gate with ¬compatible(gate, key) ⇒
+	// NDRead_gate. A seal whose partitions the path mixes leaves the reads
+	// racing across partitions exactly as an Async input would.
+	Rule1Seal Rule = "1'"
+	// RuleP is the default transfer "(p)": no reduction rule applies and
+	// the input label is carried (possibly consumed, for compatible seals)
+	// to the output.
+	RuleP Rule = "p"
+)
+
+// Step records one inference step for a component path: the input label, the
+// path annotation, the rule applied, and the resulting label. Steps are the
+// nodes of the derivation trees printed by `blazes analyze -explain` and
+// checked by the Section VI golden tests.
+type Step struct {
+	In   Label
+	Ann  Annotation
+	Rule Rule
+	Out  Label
+}
+
+// String renders the step in the paper's derivation notation, e.g.
+// "Async OW(word,batch) (2) Taint".
+func (s Step) String() string {
+	return fmt.Sprintf("%s %s (%s) %s", s.In, s.Ann, s.Rule, s.Out)
+}
+
+// PathInfo bundles what the analyzer knows about one component path beyond
+// its annotation: the injective functional dependencies of its lineage,
+// used for seal compatibility. (Seal keys are chased to output attributes
+// later, at reconciliation time — see ReconcileWithSchema — so that the
+// protection test still sees the original key.)
+type PathInfo struct {
+	Ann Annotation
+	// Deps carries injective-FD knowledge; nil means identity-only (the
+	// grey-box default).
+	Deps *fd.Set
+}
+
+// Infer applies the reduction rules of Figure 9 to one input label flowing
+// through one annotated component path, returning the derivation step. deps
+// carries the injective functional dependencies known for the component
+// (nil means identity-only, the ubiquitous case).
+//
+// Default transfers, beyond label preservation:
+//
+//   - Seal_key through a confluent path stays Seal_key (punctuations pass
+//     through order-insensitive logic untouched).
+//   - Seal_key through a *compatible* order-sensitive path becomes Async:
+//     the path blocks until each partition is sealed and then emits
+//     deterministic — but no longer punctuated — output. This matches the
+//     paper's wordcount derivation (Seal_batch × OW_{word,batch} ⇒ Async).
+func Infer(in Label, ann Annotation, deps *fd.Set) Step {
+	return InferInfo(in, PathInfo{Ann: ann, Deps: deps})
+}
+
+// InferInfo is Infer with full path information (white-box mode).
+func InferInfo(in Label, p PathInfo) Step {
+	ann, deps := p.Ann, p.Deps
+	step := Step{In: in, Ann: ann, Rule: RuleP, Out: in}
+
+	switch in.Kind {
+	case LAsync, LRun:
+		if ann.OrderSensitive() {
+			if ann.Write {
+				step.Rule, step.Out = Rule2, Taint
+			} else {
+				step.Rule, step.Out = Rule1, NDReadOn(ann.Gate)
+			}
+		}
+	case LInst:
+		if ann.Write { // CW or OW
+			step.Rule, step.Out = Rule3, Taint
+		}
+	case LSeal:
+		if ann.OrderSensitive() {
+			if ann.SealCompatible(in.Key, deps) {
+				// Compatible seal: consumed; deterministic output.
+				step.Out = Async
+			} else if ann.Write {
+				step.Rule, step.Out = Rule4, Taint
+			} else {
+				step.Rule, step.Out = Rule1Seal, NDReadOn(ann.Gate)
+			}
+		}
+		// Confluent paths preserve the seal unchanged: punctuations pass
+		// through order-insensitive logic. Whether the key survives to
+		// the output schema is decided at reconciliation, where the
+		// unchased key is still needed for the protection test.
+	case LDiverge:
+		// Worst label; always preserved.
+	case LNDRead, LTaint:
+		// Internal labels never appear on streams between components; they
+		// are produced and consumed within one reconciliation. Preserve
+		// defensively.
+	}
+	return step
+}
+
+// InferPath runs Infer over every input label arriving at one component path
+// and returns the derivation steps. The per-path result labels (step
+// outputs) form the Labels list consumed by Reconcile.
+func InferPath(ins []Label, ann Annotation, deps *fd.Set) []Step {
+	steps := make([]Step, 0, len(ins))
+	for _, in := range ins {
+		steps = append(steps, Infer(in, ann, deps))
+	}
+	return steps
+}

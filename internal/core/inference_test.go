@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"blazes/internal/fd"
+)
+
+// TestFig9Rules exhaustively checks the four reduction rules of Figure 9
+// plus this implementation's documented defaults, over every meaningful
+// (input label × annotation) pair.
+func TestFig9Rules(t *testing.T) {
+	ow := OWGate("word", "batch")
+	or := ORGate("id", "window")
+
+	tests := []struct {
+		name     string
+		in       Label
+		ann      Annotation
+		wantRule Rule
+		wantOut  Label
+	}{
+		// Rule 1: {Async, Run} × OR_gate ⇒ NDRead_gate.
+		{"r1 async", Async, or, Rule1, NDRead("id", "window")},
+		{"r1 run", Run, or, Rule1, NDRead("id", "window")},
+
+		// Rule 2: {Async, Run} × OW_gate ⇒ Taint.
+		{"r2 async", Async, ow, Rule2, Taint},
+		{"r2 run", Run, ow, Rule2, Taint},
+
+		// Rule 3: Inst × (CW | OW) ⇒ Taint.
+		{"r3 cw", Inst, CW, Rule3, Taint},
+		{"r3 ow", Inst, ow, Rule3, Taint},
+
+		// Rule 4: incompatible seal × OW ⇒ Taint.
+		{"r4", Seal("campaign"), OWGate("id"), Rule4, Taint},
+		{"r4 star", Seal("batch"), OWStar(), Rule4, Taint},
+
+		// Rule 1': incompatible seal × OR ⇒ NDRead (conservative extension).
+		{"r1' seal", Seal("campaign"), ORGate("id"), Rule1Seal, NDRead("id")},
+
+		// Defaults ("(p)").
+		{"p async cr", Async, CR, RuleP, Async},
+		{"p async cw", Async, CW, RuleP, Async},
+		{"p run cw", Run, CW, RuleP, Run},
+		{"p run cr", Run, CR, RuleP, Run},
+		{"p inst cr", Inst, CR, RuleP, Inst}, // read-only path: no taint
+		{"p inst or", Inst, or, RuleP, Inst},
+		{"p diverge", Diverge, CW, RuleP, Diverge},
+		{"p diverge or", Diverge, ow, RuleP, Diverge},
+
+		// Seal through confluent paths is preserved.
+		{"p seal cr", Seal("batch"), CR, RuleP, Seal("batch")},
+		{"p seal cw", Seal("campaign"), CW, RuleP, Seal("campaign")},
+
+		// Compatible seal through an order-sensitive path is consumed ⇒
+		// Async — the paper's wordcount derivation.
+		{"p seal ow compatible", Seal("batch"), OWGate("word", "batch"), RuleP, Async},
+		{"p seal or compatible", Seal("window"), ORGate("id", "window"), RuleP, Async},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			step := Infer(tt.in, tt.ann, nil)
+			if step.Rule != tt.wantRule {
+				t.Errorf("rule = %s, want %s", step.Rule, tt.wantRule)
+			}
+			if !step.Out.Equal(tt.wantOut) {
+				t.Errorf("out = %s, want %s", step.Out, tt.wantOut)
+			}
+		})
+	}
+}
+
+func TestInferPreservesSealThroughConfluentPaths(t *testing.T) {
+	// Seals pass through confluent paths unchanged at the path level; any
+	// chasing to the output schema happens at reconciliation so the
+	// protection test still sees the original key.
+	for _, deps := range []*fd.Set{nil, fd.NewSet(), fd.NewSet(fd.Rename("campaign", "camp_out"))} {
+		step := Infer(Seal("campaign"), CW, deps)
+		if !step.Out.Equal(Seal("campaign")) {
+			t.Errorf("out = %s, want Seal(campaign)", step.Out)
+		}
+	}
+}
+
+func TestReconcileChasesSealThroughLineage(t *testing.T) {
+	// White-box: a confluent component renames campaign to camp_out; the
+	// merged output seal carries the chased key.
+	deps := fd.NewSet(fd.Rename("campaign", "camp_out"))
+	rec := ReconcileWithSchema([]Label{Seal("campaign")}, false, deps, fd.NewAttrSet("camp_out", "total"))
+	if rec.Output.Kind != LSeal || !rec.Output.Key.Equal(fd.NewAttrSet("camp_out")) {
+		t.Errorf("output = %s, want Seal(camp_out)", rec.Output)
+	}
+}
+
+func TestReconcileDropsSealLostThroughSchema(t *testing.T) {
+	// The output schema retains nothing the key injectively determines:
+	// the seal is lost and the stream degrades to Async.
+	deps := fd.NewSet(fd.NewFD(fd.NewAttrSet("campaign"), fd.NewAttrSet("digest")))
+	rec := ReconcileWithSchema([]Label{Seal("campaign")}, false, deps, fd.NewAttrSet("digest"))
+	if !rec.Output.Equal(Async) {
+		t.Errorf("output = %s, want Async (seal lost)", rec.Output)
+	}
+}
+
+func TestReconcileGreyBoxKeepsSealWithoutSchema(t *testing.T) {
+	rec := Reconcile([]Label{Seal("campaign")}, false, fd.NewSet())
+	if !rec.Output.Equal(Seal("campaign")) {
+		t.Errorf("output = %s, want Seal(campaign)", rec.Output)
+	}
+}
+
+func TestInferStepString(t *testing.T) {
+	step := Infer(Async, OWGate("word", "batch"), nil)
+	want := "Async OW(batch,word) (2) Taint"
+	if step.String() != want {
+		t.Errorf("String = %q, want %q", step.String(), want)
+	}
+}
+
+func TestInferPath(t *testing.T) {
+	steps := InferPath([]Label{Async, Seal("batch")}, OWGate("batch"), nil)
+	if len(steps) != 2 {
+		t.Fatalf("len = %d", len(steps))
+	}
+	if !steps[0].Out.Equal(Taint) {
+		t.Errorf("steps[0].Out = %s, want Taint", steps[0].Out)
+	}
+	if !steps[1].Out.Equal(Async) {
+		t.Errorf("steps[1].Out = %s, want Async", steps[1].Out)
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the Blazes annotation calculus: the stream-label
+// lattice of Figure 8, the C.O.W.R. component annotations of Figure 7, the
+// per-path inference rules of Figure 9, and the per-interface reconciliation
+// procedure of Figure 10 (Alvaro et al., "Blazes: Coordination Analysis for
+// Distributed Programs", ICDE 2014).
+//
+// The package is deliberately free of any runtime concern: it reasons only
+// about labels and annotations. Whole-dataflow propagation lives in
+// package dataflow; the runtimes that make the predicted anomalies physical
+// live in packages storm and bloom.
+package core
+
+import (
+	"fmt"
+
+	"blazes/internal/fd"
+)
+
+// LabelKind enumerates the stream labels of Figure 8.
+type LabelKind int
+
+const (
+	// LNDRead marks transiently nondeterministic read results from an
+	// order-sensitive read path (internal label; never output).
+	LNDRead LabelKind = iota
+	// LTaint marks component state corrupted by unordered inputs
+	// (internal label; never output).
+	LTaint
+	// LSeal marks a stream punctuated on a key: for every record there is
+	// eventually a punctuation sealing the record's partition.
+	LSeal
+	// LAsync marks deterministic contents with nondeterministic order —
+	// the conservative default for asynchronous channels.
+	LAsync
+	// LRun marks possible cross-run nondeterminism: different contents in
+	// different runs over the same inputs (breaks replay fault-tolerance).
+	LRun
+	// LInst marks possible cross-instance nondeterminism: replicas emit
+	// different contents within a single run.
+	LInst
+	// LDiverge marks possible permanent replica divergence of component
+	// state.
+	LDiverge
+)
+
+// Severity returns the label's rank in Figure 8 (higher is worse). The two
+// internal labels share the lowest rank.
+func (k LabelKind) Severity() int {
+	switch k {
+	case LNDRead, LTaint:
+		return 0
+	case LSeal:
+		return 1
+	case LAsync:
+		return 2
+	case LRun:
+		return 3
+	case LInst:
+		return 4
+	case LDiverge:
+		return 5
+	default:
+		return -1
+	}
+}
+
+// Internal reports whether the label is used only inside the analysis
+// (Figure 8 marks NDRead and Taint as never output).
+func (k LabelKind) Internal() bool { return k == LNDRead || k == LTaint }
+
+// String returns the paper's name for the label kind.
+func (k LabelKind) String() string {
+	switch k {
+	case LNDRead:
+		return "NDRead"
+	case LTaint:
+		return "Taint"
+	case LSeal:
+		return "Seal"
+	case LAsync:
+		return "Async"
+	case LRun:
+		return "Run"
+	case LInst:
+		return "Inst"
+	case LDiverge:
+		return "Diverge"
+	default:
+		return fmt.Sprintf("LabelKind(%d)", int(k))
+	}
+}
+
+// Label is a stream label: a kind plus, for Seal and NDRead, the attribute
+// subscript (the seal key or the read gate, respectively).
+type Label struct {
+	Kind LabelKind
+	// Key is the seal key for LSeal and the gate for LNDRead; empty
+	// otherwise.
+	Key fd.AttrSet
+}
+
+// Convenience constructors for the subscript-free labels.
+var (
+	Async   = Label{Kind: LAsync}
+	Run     = Label{Kind: LRun}
+	Inst    = Label{Kind: LInst}
+	Diverge = Label{Kind: LDiverge}
+	Taint   = Label{Kind: LTaint}
+)
+
+// Seal returns the Seal_key label for the given key attributes.
+func Seal(key ...string) Label { return Label{Kind: LSeal, Key: fd.NewAttrSet(key...)} }
+
+// SealOn returns the Seal label for an already-built attribute set.
+func SealOn(key fd.AttrSet) Label { return Label{Kind: LSeal, Key: key} }
+
+// NDRead returns the internal NDRead_gate label.
+func NDRead(gate ...string) Label { return Label{Kind: LNDRead, Key: fd.NewAttrSet(gate...)} }
+
+// NDReadOn returns the NDRead label for an already-built gate set.
+func NDReadOn(gate fd.AttrSet) Label { return Label{Kind: LNDRead, Key: gate} }
+
+// Severity returns the severity rank of the label (Figure 8).
+func (l Label) Severity() int { return l.Kind.Severity() }
+
+// Internal reports whether the label is analysis-internal.
+func (l Label) Internal() bool { return l.Kind.Internal() }
+
+// Equal reports whether two labels have the same kind and subscript.
+func (l Label) Equal(m Label) bool {
+	return l.Kind == m.Kind && l.Key.Equal(m.Key)
+}
+
+// String renders the label with its subscript, e.g. "Seal(campaign)".
+func (l Label) String() string {
+	if l.Key.IsEmpty() {
+		return l.Kind.String()
+	}
+	return fmt.Sprintf("%s(%s)", l.Kind, l.Key)
+}
+
+// Deterministic reports whether a stream carrying this label is guaranteed
+// deterministic contents (per run and across replicas): Seal and Async (and
+// nothing worse).
+func (l Label) Deterministic() bool {
+	return l.Kind == LSeal || l.Kind == LAsync
+}
+
+// Merge returns the worse of two labels by severity — the join used when a
+// component's per-path output labels are combined into a single stream
+// label. Merging is performed over external labels; see MergeLabels for the
+// full interface-merge used by reconciliation.
+func Merge(a, b Label) Label {
+	if b.Severity() > a.Severity() {
+		return b
+	}
+	return a
+}
+
+// MergeLabels merges a set of labels for one output interface: internal
+// labels are dropped (they must have been reconciled first) and the
+// highest-severity remaining label is returned. An empty (or all-internal)
+// set merges to Async, the conservative default for asynchronous streams.
+func MergeLabels(labels []Label) Label {
+	merged := Label{Kind: LNDRead} // severity 0 sentinel, replaced below
+	found := false
+	for _, l := range labels {
+		if l.Internal() {
+			continue
+		}
+		if !found || l.Severity() > merged.Severity() {
+			merged = l
+			found = true
+		}
+	}
+	if !found {
+		return Async
+	}
+	return merged
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blazes/internal/fd"
+)
+
+// TestFig8SeverityTable pins the severity ranking of Figure 8.
+func TestFig8SeverityTable(t *testing.T) {
+	tests := []struct {
+		kind LabelKind
+		sev  int
+		intl bool
+		name string
+	}{
+		{LNDRead, 0, true, "NDRead"},
+		{LTaint, 0, true, "Taint"},
+		{LSeal, 1, false, "Seal"},
+		{LAsync, 2, false, "Async"},
+		{LRun, 3, false, "Run"},
+		{LInst, 4, false, "Inst"},
+		{LDiverge, 5, false, "Diverge"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.Severity(); got != tt.sev {
+			t.Errorf("%s severity = %d, want %d", tt.name, got, tt.sev)
+		}
+		if got := tt.kind.Internal(); got != tt.intl {
+			t.Errorf("%s internal = %v, want %v", tt.name, got, tt.intl)
+		}
+		if got := tt.kind.String(); got != tt.name {
+			t.Errorf("String = %q, want %q", got, tt.name)
+		}
+	}
+}
+
+// TestFig8AnomalyColumns pins which labels admit which anomalies, following
+// the columns of Figure 8: ND order / ND contents / transient replica
+// divergence / persistent replica divergence.
+func TestFig8AnomalyColumns(t *testing.T) {
+	// Deterministic contents: only Seal and Async.
+	for _, l := range []Label{Seal("k"), Async} {
+		if !l.Deterministic() {
+			t.Errorf("%s should be deterministic", l)
+		}
+	}
+	for _, l := range []Label{Run, Inst, Diverge} {
+		if l.Deterministic() {
+			t.Errorf("%s must not be deterministic", l)
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	tests := []struct {
+		l    Label
+		want string
+	}{
+		{Async, "Async"},
+		{Run, "Run"},
+		{Inst, "Inst"},
+		{Diverge, "Diverge"},
+		{Taint, "Taint"},
+		{Seal("campaign"), "Seal(campaign)"},
+		{Seal("id", "window"), "Seal(id,window)"},
+		{NDRead("id", "campaign"), "NDRead(campaign,id)"},
+	}
+	for _, tt := range tests {
+		if got := tt.l.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestLabelEqual(t *testing.T) {
+	if !Seal("a", "b").Equal(Seal("b", "a")) {
+		t.Error("seal equality must be order-insensitive")
+	}
+	if Seal("a").Equal(Seal("b")) {
+		t.Error("seals with different keys must differ")
+	}
+	if Seal("a").Equal(NDRead("a")) {
+		t.Error("different kinds must differ")
+	}
+}
+
+func TestMergePairwise(t *testing.T) {
+	if got := Merge(Async, Run); !got.Equal(Run) {
+		t.Errorf("Merge(Async,Run) = %v", got)
+	}
+	if got := Merge(Diverge, Seal("k")); !got.Equal(Diverge) {
+		t.Errorf("Merge(Diverge,Seal) = %v", got)
+	}
+	if got := Merge(Seal("k"), Async); !got.Equal(Async) {
+		t.Errorf("Merge(Seal,Async) = %v: Async outranks Seal", got)
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Label
+		want Label
+	}{
+		{"empty defaults to Async", nil, Async},
+		{"all internal defaults to Async", []Label{Taint, NDRead("g")}, Async},
+		{"internal dropped", []Label{Seal("k"), Taint, Inst}, Inst},
+		{"seal alone", []Label{Seal("k")}, Seal("k")},
+		{"async beats seal", []Label{Seal("k"), Async}, Async},
+		{"diverge wins", []Label{Async, Run, Inst, Diverge}, Diverge},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MergeLabels(tt.in); !got.Equal(tt.want) {
+				t.Errorf("MergeLabels(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+// genLabel draws a random external or internal label.
+func genLabel(r *rand.Rand) Label {
+	switch r.Intn(7) {
+	case 0:
+		return NDReadOn(genKey(r))
+	case 1:
+		return Taint
+	case 2:
+		return SealOn(genKey(r))
+	case 3:
+		return Async
+	case 4:
+		return Run
+	case 5:
+		return Inst
+	default:
+		return Diverge
+	}
+}
+
+func genKey(r *rand.Rand) fd.AttrSet {
+	attrs := []string{"id", "campaign", "window"}
+	var out []string
+	for _, a := range attrs {
+		if r.Intn(2) == 0 {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"id"}
+	}
+	return fd.NewAttrSet(out...)
+}
+
+// TestMergeSemilattice property-tests that pairwise Merge is a join
+// semilattice over severity: commutative, associative, idempotent-by-rank.
+func TestMergeSemilattice(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000}
+
+	comm := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genLabel(r), genLabel(r)
+		return Merge(a, b).Severity() == Merge(b, a).Severity()
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Errorf("merge not commutative by severity: %v", err)
+	}
+
+	assoc := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genLabel(r), genLabel(r), genLabel(r)
+		return Merge(Merge(a, b), c).Severity() == Merge(a, Merge(b, c)).Severity()
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Errorf("merge not associative by severity: %v", err)
+	}
+
+	idem := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genLabel(r)
+		return Merge(a, a).Equal(a)
+	}
+	if err := quick.Check(idem, cfg); err != nil {
+		t.Errorf("merge not idempotent: %v", err)
+	}
+
+	// MergeLabels result severity is an upper bound of every external input.
+	bound := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(5)
+		ls := make([]Label, n)
+		for i := range ls {
+			ls[i] = genLabel(r)
+		}
+		m := MergeLabels(ls)
+		for _, l := range ls {
+			if !l.Internal() && l.Severity() > m.Severity() {
+				return false
+			}
+		}
+		return !m.Internal()
+	}
+	if err := quick.Check(bound, cfg); err != nil {
+		t.Errorf("MergeLabels not an upper bound: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"blazes/internal/fd"
+)
+
+// Reconciliation implements Figure 10: given the list Labels of per-path
+// labels arriving at one output interface, it resolves the internal labels
+// (Taint, NDRead) into externally visible anomaly labels, then merges to the
+// single highest-severity output label.
+//
+// The procedure:
+//
+//	Taint ∈ Labels            ⇒ add (Rep ? Diverge : Run)
+//	NDRead_gate ∈ Labels and ¬protected(NDRead_gate)
+//	                          ⇒ add (Rep ? Inst : Run)
+//	NDRead_gate protected     ⇒ add Async (deterministic after per-partition
+//	                            blocking; the read rendezvouses only with
+//	                            sealed, immutable partitions)
+//
+// where
+//
+//	protected(NDRead_gate) ≡ ∀ l ∈ Labels .
+//	    l = NDRead_gate ∨ (l = Seal_key ∧ compatible(gate, key))
+//
+// Reconcile finally returns MergeLabels over the augmented list.
+
+// Reconciliation captures the outcome of reconciling one output interface,
+// including the intermediate bookkeeping used for explain output and tests.
+type Reconciliation struct {
+	// Input is the Labels list handed to the procedure (per-path results).
+	Input []Label
+	// Added lists the labels introduced by the Figure 10 rules.
+	Added []Label
+	// Output is the final merged label for the interface.
+	Output Label
+	// Notes explains each rule firing in order, for derivation printing.
+	Notes []string
+}
+
+// Reconcile runs the Figure 10 procedure. rep is the Rep flag — whether the
+// component (and hence its output streams) is replicated. deps carries
+// injective dependency knowledge for compatibility tests (nil = identity
+// only).
+func Reconcile(labels []Label, rep bool, deps *fd.Set) Reconciliation {
+	return ReconcileWithSchema(labels, rep, deps, fd.AttrSet{})
+}
+
+// ReconcileWithSchema is Reconcile for white-box components with a known
+// output attribute schema: when the merged label is a Seal, its key is
+// chased through the lineage and restricted to attributes that survive to
+// the output. A seal whose key does not survive degrades to Async — the
+// downstream stream carries no usable punctuations.
+func ReconcileWithSchema(labels []Label, rep bool, deps *fd.Set, out fd.AttrSet) Reconciliation {
+	rec := Reconciliation{Input: append([]Label(nil), labels...)}
+	augmented := append([]Label(nil), labels...)
+
+	add := func(l Label, note string) {
+		rec.Added = append(rec.Added, l)
+		augmented = append(augmented, l)
+		rec.Notes = append(rec.Notes, note)
+	}
+
+	// Taint ⇒ Rep ? Diverge : Run.
+	for _, l := range labels {
+		if l.Kind == LTaint {
+			if rep {
+				add(Diverge, "Taint ∈ Labels ∧ Rep ⇒ Diverge")
+			} else {
+				add(Run, "Taint ∈ Labels ⇒ Run")
+			}
+			break
+		}
+	}
+
+	// Each distinct NDRead gate: protected ⇒ Async, else Rep ? Inst : Run.
+	seenGates := map[string]bool{}
+	for _, l := range labels {
+		if l.Kind != LNDRead || seenGates[l.Key.Key()] {
+			continue
+		}
+		seenGates[l.Key.Key()] = true
+		if protected(l, labels, deps) {
+			add(Async, fmt.Sprintf("NDRead(%s) protected by compatible seals ⇒ Async", l.Key))
+		} else if rep {
+			add(Inst, fmt.Sprintf("NDRead(%s) unprotected ∧ Rep ⇒ Inst", l.Key))
+		} else {
+			add(Run, fmt.Sprintf("NDRead(%s) unprotected ⇒ Run", l.Key))
+		}
+	}
+
+	rec.Output = MergeLabels(augmented)
+	if rec.Output.Kind == LSeal && deps != nil && !out.IsEmpty() {
+		chased := deps.InjectiveClosure(rec.Output.Key).Intersect(out)
+		if chased.IsEmpty() {
+			rec.Notes = append(rec.Notes, fmt.Sprintf("seal key (%s) does not survive to output schema (%s) ⇒ Async", rec.Output.Key, out))
+			rec.Output = Async
+		} else if !chased.Equal(rec.Output.Key) {
+			rec.Notes = append(rec.Notes, fmt.Sprintf("seal key chased through lineage: (%s) ⇒ (%s)", rec.Output.Key, chased))
+			rec.Output = SealOn(chased)
+		}
+	}
+	return rec
+}
+
+// protected implements the paper's predicate: every label the NDRead can
+// rendezvous with must either be the same NDRead or a seal compatible with
+// the read's gate.
+func protected(nd Label, labels []Label, deps *fd.Set) bool {
+	for _, l := range labels {
+		if l.Kind == LNDRead && l.Key.Equal(nd.Key) {
+			continue
+		}
+		if l.Kind == LSeal && compatibleWith(nd.Key, l.Key, deps) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func compatibleWith(gate, key fd.AttrSet, deps *fd.Set) bool {
+	if deps == nil {
+		deps = identityDeps(gate.Union(key))
+	}
+	return deps.Compatible(gate, key)
+}
+
+// String renders the reconciliation for explain output.
+func (r Reconciliation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Labels = {%s}", joinLabels(r.Input))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n  %s", n)
+	}
+	fmt.Fprintf(&b, "\n  merge ⇒ %s", r.Output)
+	return b.String()
+}
+
+func joinLabels(ls []Label) string {
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig10Reconcile checks the reconciliation procedure of Figure 10 over
+// the cases the paper's derivations exercise, plus the Rep/non-Rep matrix.
+func TestFig10Reconcile(t *testing.T) {
+	tests := []struct {
+		name   string
+		labels []Label
+		rep    bool
+		want   Label
+	}{
+		// Taint ⇒ Rep ? Diverge : Run.
+		{"taint no rep", []Label{Async, Taint}, false, Run},
+		{"taint rep", []Label{Async, Taint}, true, Diverge},
+
+		// Unprotected NDRead ⇒ Rep ? Inst : Run. (An Async sibling label
+		// breaks protection: the read can rendezvous with unsealed data.)
+		{"ndread unprotected no rep", []Label{Async, NDRead("campaign")}, false, Run},
+		{"ndread unprotected rep", []Label{Async, NDRead("campaign")}, true, Inst},
+
+		// Protected NDRead: every sibling is a compatible seal ⇒ Async.
+		// This is the POOR/CAMPAIGN + Seal_campaign derivation: the merged
+		// output is Async even though one path still carries Seal.
+		{"ndread protected rep", []Label{Seal("campaign"), NDRead("id", "campaign")}, true, Async},
+		{"ndread protected no rep", []Label{Seal("window"), NDRead("id", "window")}, false, Async},
+
+		// Incompatible seal sibling does not protect.
+		{"ndread bad seal", []Label{Seal("campaign"), NDRead("id")}, true, Inst},
+
+		// No internal labels: merge only.
+		{"plain async", []Label{Async, Async}, true, Async},
+		{"plain seal", []Label{Seal("batch")}, false, Seal("batch")},
+		{"seal plus async", []Label{Seal("batch"), Async}, false, Async},
+		{"inst propagates", []Label{Inst, Async}, true, Inst},
+
+		// Taint and unprotected NDRead together: worst wins.
+		{"taint and ndread rep", []Label{Taint, NDRead("g"), Async}, true, Diverge},
+		{"taint and ndread no rep", []Label{Taint, NDRead("g"), Async}, false, Run},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec := Reconcile(tt.labels, tt.rep, nil)
+			if !rec.Output.Equal(tt.want) {
+				t.Errorf("Reconcile(%v, rep=%v) = %s, want %s\n%s",
+					tt.labels, tt.rep, rec.Output, tt.want, rec.String())
+			}
+		})
+	}
+}
+
+func TestReconcileMultipleNDReadGates(t *testing.T) {
+	// Two distinct gates, one protected and one not: the unprotected one
+	// drives the output to Inst.
+	labels := []Label{
+		Seal("campaign"),
+		NDRead("campaign"), // protected by the seal
+		NDRead("user"),     // no seal covers it
+	}
+	rec := Reconcile(labels, true, nil)
+	if !rec.Output.Equal(Inst) {
+		t.Errorf("output = %s, want Inst", rec.Output)
+	}
+}
+
+func TestReconcileTwoNDReadsProtectEachOther(t *testing.T) {
+	// The ∀ in protected() admits other copies of the same NDRead.
+	labels := []Label{NDRead("id"), NDRead("id")}
+	rec := Reconcile(labels, true, nil)
+	if !rec.Output.Equal(Async) {
+		t.Errorf("output = %s, want Async (identical NDReads protect each other)", rec.Output)
+	}
+}
+
+func TestReconcileOnlyOneAnomalyPerTaintSet(t *testing.T) {
+	// Multiple taints add a single Run/Diverge, not several.
+	rec := Reconcile([]Label{Taint, Taint, Taint}, false, nil)
+	if len(rec.Added) != 1 {
+		t.Errorf("added = %v, want exactly one label", rec.Added)
+	}
+}
+
+func TestReconcileEmptyLabels(t *testing.T) {
+	rec := Reconcile(nil, false, nil)
+	if !rec.Output.Equal(Async) {
+		t.Errorf("empty reconcile = %s, want Async", rec.Output)
+	}
+}
+
+func TestReconciliationString(t *testing.T) {
+	rec := Reconcile([]Label{Async, Taint}, true, nil)
+	s := rec.String()
+	for _, want := range []string{"Labels = {Async, Taint}", "Diverge", "merge"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blazes/internal/core"
+	"blazes/internal/fd"
+)
+
+// ComponentAnalysis records the derivation performed at one component: the
+// inference steps for every (input label × path) pair and the per-output
+// reconciliation, in the notation of Section V-A4.
+type ComponentAnalysis struct {
+	Name string
+	// Steps lists every inference step performed at the component.
+	Steps []core.Step
+	// Reconciliations maps each output interface to its Figure 10 run.
+	Reconciliations map[string]core.Reconciliation
+	// OutputLabels maps each output interface to its merged label.
+	OutputLabels map[string]core.Label
+}
+
+// Analysis is the result of analyzing a dataflow graph: a label for every
+// stream, the derivation at every component, and the overall verdict (the
+// worst label on any sink stream, or on any stream if there are no sinks).
+type Analysis struct {
+	Graph *Graph
+	// Collapsed is the graph actually analyzed (after cycle collapse);
+	// identical to Graph when the dataflow has no interface-level cycles.
+	Collapsed *Graph
+	// StreamLabels maps stream name → derived label.
+	StreamLabels map[string]core.Label
+	// Components maps component name → its derivation record (names refer
+	// to the collapsed graph; supernodes are named "scc+A+B").
+	Components map[string]*ComponentAnalysis
+	// Verdict is the highest-severity label among sink streams.
+	Verdict core.Label
+}
+
+// Analyze runs the Blazes analysis over g: validate, collapse cycles,
+// propagate labels over output interfaces in topological order (inference
+// per path, reconciliation per output interface, merge), and compute the
+// verdict.
+func Analyze(g *Graph) (*Analysis, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cg := collapseSCCs(g)
+	if cg != g {
+		if err := cg.Validate(); err != nil {
+			return nil, fmt.Errorf("dataflow: internal error: collapsed graph invalid: %w", err)
+		}
+	}
+
+	a := &Analysis{
+		Graph:        g,
+		Collapsed:    cg,
+		StreamLabels: map[string]core.Label{},
+		Components:   map[string]*ComponentAnalysis{},
+	}
+
+	// Source streams start from their annotations: Seal_key if annotated,
+	// otherwise the conservative default Async.
+	for _, s := range cg.Streams() {
+		if s.IsSource() {
+			a.StreamLabels[s.Name] = sourceLabel(s)
+		}
+	}
+
+	for _, node := range outputTopoOrder(cg) {
+		a.analyzeOutput(cg, node)
+	}
+
+	a.Verdict = a.verdict(cg)
+	return a, nil
+}
+
+// outputTopoOrder returns the OUT interface nodes of the (acyclic) collapsed
+// graph in topological order using Kahn's algorithm over the interface
+// graph.
+func outputTopoOrder(g *Graph) []ifaceNode {
+	ig := buildIfaceGraph(g)
+	indeg := map[ifaceNode]int{}
+	for _, n := range ig.nodes {
+		indeg[n] += 0
+	}
+	for _, vs := range ig.adj {
+		for _, w := range vs {
+			indeg[w]++
+		}
+	}
+	var queue []ifaceNode
+	for _, n := range ig.nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
+	var outs []ifaceNode
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v.out {
+			outs = append(outs, v)
+		}
+		for _, w := range ig.adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+		sort.Slice(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
+	}
+	return outs
+}
+
+// analyzeOutput derives the label for one output interface and stamps it on
+// the streams leaving it.
+func (a *Analysis) analyzeOutput(g *Graph, node ifaceNode) {
+	comp := g.Lookup(node.comp)
+	if comp == nil {
+		return
+	}
+	ca := a.Components[comp.Name]
+	if ca == nil {
+		ca = &ComponentAnalysis{
+			Name:            comp.Name,
+			Reconciliations: map[string]core.Reconciliation{},
+			OutputLabels:    map[string]core.Label{},
+		}
+		a.Components[comp.Name] = ca
+	}
+
+	coordinated := comp.Coordination == CoordSequenced || comp.Coordination == CoordDynamicOrder
+
+	var labels []core.Label
+	for _, p := range comp.PathsTo(node.iface) {
+		ann := p.Ann
+		if coordinated && ann.OrderSensitive() {
+			// A total order over inputs removes order sensitivity: the
+			// path behaves as its confluent counterpart. (M2's residual
+			// cross-run nondeterminism is reapplied below.)
+			ann = core.Annotation{Confluent: true, Write: ann.Write}
+		}
+		info := core.PathInfo{Ann: ann, Deps: comp.Deps}
+		for _, in := range a.inputLabels(g, comp.Name, p.From) {
+			step := core.InferInfo(in, info)
+			ca.Steps = append(ca.Steps, step)
+			labels = append(labels, step.Out)
+		}
+	}
+	rep := comp.Rep || anyOutStreamRep(g, comp.Name, node.iface)
+	var outSchema fd.AttrSet
+	if comp.OutSchema != nil {
+		outSchema = comp.OutSchema[node.iface]
+	}
+	rec := core.ReconcileWithSchema(labels, rep, comp.Deps, outSchema)
+	ca.Reconciliations[node.iface] = rec
+	ca.OutputLabels[node.iface] = rec.Output
+
+	out := rec.Output
+	// M2 (dynamic ordering) fixes order within a run only: contents remain
+	// nondeterministic across runs (Figure 5).
+	if comp.Coordination == CoordDynamicOrder && out.Severity() < core.Run.Severity() {
+		out = core.Run
+	}
+	for _, s := range g.StreamsOutOf(comp.Name, node.iface) {
+		a.StreamLabels[s.Name] = out
+	}
+}
+
+// inputLabels gathers the labels of every stream feeding comp.iface; an
+// unconnected input defaults to Async.
+func (a *Analysis) inputLabels(g *Graph, comp, iface string) []core.Label {
+	var out []core.Label
+	for _, s := range g.StreamsInto(comp, iface) {
+		if l, ok := a.StreamLabels[s.Name]; ok {
+			out = append(out, l)
+		} else {
+			out = append(out, core.Async)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, core.Async)
+	}
+	return out
+}
+
+func (a *Analysis) verdict(g *Graph) core.Label {
+	verdict := core.Label{Kind: core.LNDRead}
+	found := false
+	consider := func(l core.Label) {
+		if !found || l.Severity() > verdict.Severity() {
+			verdict, found = l, true
+		}
+	}
+	for _, s := range g.Streams() {
+		if s.IsSink() {
+			if l, ok := a.StreamLabels[s.Name]; ok {
+				consider(l)
+			}
+		}
+	}
+	if !found {
+		for _, s := range g.Streams() {
+			if l, ok := a.StreamLabels[s.Name]; ok {
+				consider(l)
+			}
+		}
+	}
+	if !found {
+		return core.Async
+	}
+	return verdict
+}
+
+// sourceLabel derives the initial label of an external input stream.
+func sourceLabel(s *Stream) core.Label {
+	if !s.Seal.IsEmpty() {
+		return core.SealOn(s.Seal)
+	}
+	return core.Async
+}
+
+func anyOutStreamRep(g *Graph, comp, iface string) bool {
+	for _, s := range g.StreamsOutOf(comp, iface) {
+		if s.Rep {
+			return true
+		}
+	}
+	return false
+}
+
+// Label returns the derived label of the named stream.
+func (a *Analysis) Label(stream string) core.Label { return a.StreamLabels[stream] }
+
+// Deterministic reports whether the whole dataflow is guaranteed to produce
+// deterministic output contents (verdict at most Async).
+func (a *Analysis) Deterministic() bool {
+	return a.Verdict.Severity() <= core.Async.Severity()
+}
+
+// Explain renders the full derivation: per component (in name order), each
+// inference step and reconciliation, then stream labels and verdict.
+func (a *Analysis) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataflow %q\n", a.Graph.Name)
+	names := make([]string, 0, len(a.Components))
+	for n := range a.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ca := a.Components[n]
+		fmt.Fprintf(&b, "\ncomponent %s\n", n)
+		for _, st := range ca.Steps {
+			fmt.Fprintf(&b, "  %s\n", st)
+		}
+		for _, iface := range sortedRecKeys(ca.Reconciliations) {
+			rec := ca.Reconciliations[iface]
+			fmt.Fprintf(&b, "  output %s: %s\n", iface, indent(rec.String(), "  "))
+		}
+	}
+	fmt.Fprintf(&b, "\nstreams\n")
+	streams := make([]string, 0, len(a.StreamLabels))
+	for s := range a.StreamLabels {
+		streams = append(streams, s)
+	}
+	sort.Strings(streams)
+	for _, s := range streams {
+		fmt.Fprintf(&b, "  %-20s %s\n", s, a.StreamLabels[s])
+	}
+	fmt.Fprintf(&b, "\nverdict: %s\n", a.Verdict)
+	return b.String()
+}
+
+func sortedRecKeys(m map[string]core.Reconciliation) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indent(s, pad string) string {
+	return strings.ReplaceAll(s, "\n", "\n"+pad)
+}

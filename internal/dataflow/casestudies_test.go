@@ -1,0 +1,195 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"blazes/internal/core"
+)
+
+// Golden tests for every derivation in Section VI of the paper.
+
+// TestCaseStudyWordcountUnsealed reproduces Section VI-A2, first derivation:
+// without seal annotations the wordcount dataflow derives Run — replay is
+// not deterministic and Blazes recommends coordination.
+func TestCaseStudyWordcountUnsealed(t *testing.T) {
+	a, err := Analyze(WordcountTopology(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Splitter: Async × CR ⇒(p) Async.
+	if got := a.Components["Splitter"].OutputLabels["words"]; !got.Equal(core.Async) {
+		t.Errorf("Splitter output = %s, want Async", got)
+	}
+	// Count: Async × OW_{word,batch} ⇒(2) Taint ⇒ Run.
+	if got := a.Components["Count"].OutputLabels["counts"]; !got.Equal(core.Run) {
+		t.Errorf("Count output = %s, want Run", got)
+	}
+	assertStep(t, a, "Count", core.Step{
+		In: core.Async, Ann: core.OWGate("word", "batch"), Rule: core.Rule2, Out: core.Taint,
+	})
+	// Commit: Run × CW ⇒(p) Run.
+	if got := a.Components["Commit"].OutputLabels["db"]; !got.Equal(core.Run) {
+		t.Errorf("Commit output = %s, want Run", got)
+	}
+	if !a.Verdict.Equal(core.Run) {
+		t.Errorf("verdict = %s, want Run", a.Verdict)
+	}
+	if a.Deterministic() {
+		t.Error("unsealed wordcount must not be deterministic")
+	}
+}
+
+// TestCaseStudyWordcountSealed reproduces Section VI-A2, second derivation:
+// with the input sealed on batch, the compatibility between punctuations and
+// the Count gate yields Async end to end.
+func TestCaseStudyWordcountSealed(t *testing.T) {
+	a, err := Analyze(WordcountTopology(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Splitter: Seal_batch × CR ⇒(p) Seal_batch.
+	if got := a.Components["Splitter"].OutputLabels["words"]; !got.Equal(core.Seal("batch")) {
+		t.Errorf("Splitter output = %s, want Seal(batch)", got)
+	}
+	// Count: Seal_batch × OW_{word,batch} ⇒(p) Async (seal consumed).
+	if got := a.Components["Count"].OutputLabels["counts"]; !got.Equal(core.Async) {
+		t.Errorf("Count output = %s, want Async", got)
+	}
+	// Commit: Async × CW ⇒(p) Async.
+	if got := a.Verdict; !got.Equal(core.Async) {
+		t.Errorf("verdict = %s, want Async", got)
+	}
+	if !a.Deterministic() {
+		t.Error("sealed wordcount must be deterministic")
+	}
+}
+
+// TestCaseStudyTHRESH reproduces Section VI-B2, first derivation: THRESH is
+// confluent, so the whole dataflow is Async without coordination.
+func TestCaseStudyTHRESH(t *testing.T) {
+	a, err := Analyze(AdNetwork(THRESH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Components["Report"].OutputLabels["response"]; !got.Equal(core.Async) {
+		t.Errorf("Report output = %s, want Async", got)
+	}
+	if !a.Verdict.Equal(core.Async) {
+		t.Errorf("verdict = %s, want Async", a.Verdict)
+	}
+}
+
+// TestCaseStudyPOOR reproduces Section VI-B2, second derivation: POOR with
+// no seal derives Diverge — nondeterministic outputs taint the replicated
+// cache and state diverges permanently.
+func TestCaseStudyPOOR(t *testing.T) {
+	a, err := Analyze(AdNetwork(POOR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Report: request path OR_id over Async ⇒ NDRead_id, unprotected, Rep
+	// ⇒ Inst.
+	if got := a.Components["Report"].OutputLabels["response"]; !got.Equal(core.Inst) {
+		t.Errorf("Report output = %s, want Inst", got)
+	}
+	assertStep(t, a, "Report", core.Step{
+		In: core.Async, Ann: core.ORGate("id"), Rule: core.Rule1, Out: core.NDRead("id"),
+	})
+	// Cache: Inst × CW ⇒(3) Taint, Rep ⇒ Diverge.
+	assertStep(t, a, "Cache", core.Step{
+		In: core.Inst, Ann: core.CW, Rule: core.Rule3, Out: core.Taint,
+	})
+	if !a.Verdict.Equal(core.Diverge) {
+		t.Errorf("verdict = %s, want Diverge", a.Verdict)
+	}
+}
+
+// TestCaseStudyCAMPAIGNSealed reproduces Section VI-B2, third derivation:
+// with the click stream sealed on campaign, the CAMPAIGN query's gate
+// {id,campaign} is compatible; the NDRead is protected and the dataflow is
+// Async.
+func TestCaseStudyCAMPAIGNSealed(t *testing.T) {
+	a, err := Analyze(AdNetwork(CAMPAIGN, "campaign"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Components["Report"].OutputLabels["response"]; !got.Equal(core.Async) {
+		t.Errorf("Report output = %s, want Async", got)
+	}
+	if !a.Verdict.Equal(core.Async) {
+		t.Errorf("verdict = %s, want Async", a.Verdict)
+	}
+}
+
+// TestCaseStudyPOORSealed: POOR's gate is {id}, incompatible with a campaign
+// seal — the dataflow still derives Diverge (only CAMPAIGN is compatible
+// with Seal_campaign; Section V-A1).
+func TestCaseStudyPOORSealed(t *testing.T) {
+	a, err := Analyze(AdNetwork(POOR, "campaign"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Verdict.Equal(core.Diverge) {
+		t.Errorf("verdict = %s, want Diverge", a.Verdict)
+	}
+}
+
+// TestCaseStudyWINDOWSealed: WINDOW sealed on window reduces to Async
+// (Section VI-B2, last sentence).
+func TestCaseStudyWINDOWSealed(t *testing.T) {
+	a, err := Analyze(AdNetwork(WINDOW, "window"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Verdict.Equal(core.Async) {
+		t.Errorf("verdict = %s, want Async", a.Verdict)
+	}
+}
+
+// TestCaseStudyWINDOWUnsealed: WINDOW without punctuations races queries
+// against clicks like POOR does.
+func TestCaseStudyWINDOWUnsealed(t *testing.T) {
+	a, err := Analyze(AdNetwork(WINDOW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Verdict.Equal(core.Diverge) {
+		t.Errorf("verdict = %s, want Diverge", a.Verdict)
+	}
+}
+
+// assertStep checks that the component's derivation contains the given step.
+func assertStep(t *testing.T, a *Analysis, comp string, want core.Step) {
+	t.Helper()
+	ca := a.Components[comp]
+	if ca == nil {
+		t.Fatalf("no analysis for component %q", comp)
+	}
+	for _, st := range ca.Steps {
+		if st.Rule == want.Rule && st.In.Equal(want.In) && st.Out.Equal(want.Out) &&
+			st.Ann.String() == want.Ann.String() {
+			return
+		}
+	}
+	t.Errorf("component %s: missing step %q; have %v", comp, want, ca.Steps)
+}
+
+func TestExplainContainsDerivation(t *testing.T) {
+	a, err := Analyze(WordcountTopology(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Explain()
+	for _, want := range []string{
+		"component Count",
+		"Async OW(batch,word) (2) Taint",
+		"verdict: Run",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}

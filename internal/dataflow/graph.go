@@ -1,0 +1,314 @@
+// Package dataflow models the logical dataflow graphs that Blazes analyzes
+// (Section II of the paper) and implements the whole-graph analysis of
+// Section V: path enumeration with cycle collapse, per-component inference
+// and reconciliation, end-to-end label propagation, and coordination
+// strategy synthesis.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"blazes/internal/core"
+	"blazes/internal/fd"
+)
+
+// Coordination enumerates the delivery mechanisms of Figure 5 that can be
+// imposed on a component's inputs by a synthesized strategy.
+type Coordination int
+
+const (
+	// CoordNone leaves delivery asynchronous and unordered.
+	CoordNone Coordination = iota
+	// CoordSequenced is M1: a preordained total order over inputs (e.g.
+	// Storm transactional batch ids). Deterministic across runs, instances
+	// and replays.
+	CoordSequenced
+	// CoordDynamicOrder is M2: a dynamic ordering service (e.g. Paxos or
+	// Zookeeper) decides a total order per run. All replicas agree within
+	// a run, but different runs may order differently.
+	CoordDynamicOrder
+	// CoordSealed is M3: per-partition sealing; inputs are buffered until
+	// their partition is sealed by every producer.
+	CoordSealed
+)
+
+// String names the mechanism as in Figure 5.
+func (c Coordination) String() string {
+	switch c {
+	case CoordNone:
+		return "none"
+	case CoordSequenced:
+		return "sequencing (M1)"
+	case CoordDynamicOrder:
+		return "dynamic ordering (M2)"
+	case CoordSealed:
+		return "sealing (M3)"
+	default:
+		return fmt.Sprintf("Coordination(%d)", int(c))
+	}
+}
+
+// Path is an annotated path from an input interface to an output interface
+// of one component.
+type Path struct {
+	From, To string
+	Ann      core.Annotation
+}
+
+// Component is a logical unit of computation and storage with named input
+// and output interfaces and annotated paths between them.
+type Component struct {
+	Name string
+	// Rep marks the component (and hence its output streams) as
+	// replicated: multiple instances consume replicated inputs.
+	Rep bool
+	// Paths lists the annotated input→output paths.
+	Paths []Path
+	// Deps carries the component's injective-FD lineage (white box); nil
+	// means identity-only.
+	Deps *fd.Set
+	// OutSchema optionally maps output interface names to their attribute
+	// schemas, enabling seal-key chasing (white box).
+	OutSchema map[string]fd.AttrSet
+	// Coordination records a delivery mechanism imposed on this
+	// component's inputs by a synthesized (or manually applied) strategy.
+	Coordination Coordination
+
+	inputs  map[string]bool
+	outputs map[string]bool
+}
+
+// Inputs returns the component's input interface names in sorted order.
+func (c *Component) Inputs() []string { return sortedKeys(c.inputs) }
+
+// Outputs returns the component's output interface names in sorted order.
+func (c *Component) Outputs() []string { return sortedKeys(c.outputs) }
+
+// AddPath declares an annotated path. Interfaces are created on first use.
+func (c *Component) AddPath(from, to string, ann core.Annotation) *Component {
+	c.Paths = append(c.Paths, Path{From: from, To: to, Ann: ann})
+	c.inputs[from] = true
+	c.outputs[to] = true
+	return c
+}
+
+// PathsFrom returns the paths reading the given input interface.
+func (c *Component) PathsFrom(in string) []Path {
+	var out []Path
+	for _, p := range c.Paths {
+		if p.From == in {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PathsTo returns the paths feeding the given output interface.
+func (c *Component) PathsTo(out string) []Path {
+	var res []Path
+	for _, p := range c.Paths {
+		if p.To == out {
+			res = append(res, p)
+		}
+	}
+	return res
+}
+
+// Stream connects an output interface of one component to an input
+// interface of another (or represents an external source/sink edge when one
+// endpoint is empty).
+type Stream struct {
+	Name string
+	// FromComp/FromIface identify the producer; empty FromComp marks an
+	// external source.
+	FromComp, FromIface string
+	// ToComp/ToIface identify the consumer; empty ToComp marks an
+	// external sink.
+	ToComp, ToIface string
+	// Seal carries the Seal_key annotation when the stream is punctuated
+	// on key (empty = unsealed).
+	Seal fd.AttrSet
+	// Rep marks a replicated stream.
+	Rep bool
+}
+
+// IsSource reports whether the stream enters the dataflow from outside.
+func (s *Stream) IsSource() bool { return s.FromComp == "" }
+
+// IsSink reports whether the stream leaves the dataflow.
+func (s *Stream) IsSink() bool { return s.ToComp == "" }
+
+// Graph is a logical dataflow: components wired by streams.
+type Graph struct {
+	Name       string
+	components map[string]*Component
+	streams    []*Stream
+	byName     map[string]*Stream
+}
+
+// NewGraph creates an empty dataflow graph.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:       name,
+		components: map[string]*Component{},
+		byName:     map[string]*Stream{},
+	}
+}
+
+// Component returns the named component, creating it if needed.
+func (g *Graph) Component(name string) *Component {
+	if c, ok := g.components[name]; ok {
+		return c
+	}
+	c := &Component{
+		Name:    name,
+		inputs:  map[string]bool{},
+		outputs: map[string]bool{},
+	}
+	g.components[name] = c
+	return c
+}
+
+// Components returns the components in name order.
+func (g *Graph) Components() []*Component {
+	names := sortedKeys2(g.components)
+	out := make([]*Component, len(names))
+	for i, n := range names {
+		out[i] = g.components[n]
+	}
+	return out
+}
+
+// Lookup returns the named component, or nil.
+func (g *Graph) Lookup(name string) *Component { return g.components[name] }
+
+// Connect wires fromComp.fromIface to toComp.toIface with a named stream
+// and returns it for further annotation.
+func (g *Graph) Connect(name, fromComp, fromIface, toComp, toIface string) *Stream {
+	s := &Stream{
+		Name:     name,
+		FromComp: fromComp, FromIface: fromIface,
+		ToComp: toComp, ToIface: toIface,
+	}
+	g.streams = append(g.streams, s)
+	g.byName[name] = s
+	return s
+}
+
+// Source declares an external input stream feeding toComp.toIface.
+func (g *Graph) Source(name, toComp, toIface string) *Stream {
+	return g.Connect(name, "", "", toComp, toIface)
+}
+
+// Sink declares an external output stream leaving fromComp.fromIface.
+func (g *Graph) Sink(name, fromComp, fromIface string) *Stream {
+	return g.Connect(name, fromComp, fromIface, "", "")
+}
+
+// Stream returns the named stream, or nil.
+func (g *Graph) Stream(name string) *Stream { return g.byName[name] }
+
+// Streams returns all streams in declaration order.
+func (g *Graph) Streams() []*Stream { return g.streams }
+
+// StreamsInto returns the streams arriving at comp.iface.
+func (g *Graph) StreamsInto(comp, iface string) []*Stream {
+	var out []*Stream
+	for _, s := range g.streams {
+		if s.ToComp == comp && s.ToIface == iface {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StreamsOutOf returns the streams leaving comp.iface.
+func (g *Graph) StreamsOutOf(comp, iface string) []*Stream {
+	var out []*Stream
+	for _, s := range g.streams {
+		if s.FromComp == comp && s.FromIface == iface {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: stream endpoints must reference
+// declared components and interfaces used by at least one path, and every
+// component must have at least one path.
+func (g *Graph) Validate() error {
+	for name, c := range g.components {
+		if len(c.Paths) == 0 {
+			return fmt.Errorf("dataflow: component %q has no annotated paths", name)
+		}
+	}
+	for _, s := range g.streams {
+		if !s.IsSource() {
+			c, ok := g.components[s.FromComp]
+			if !ok {
+				return fmt.Errorf("dataflow: stream %q: unknown producer component %q", s.Name, s.FromComp)
+			}
+			if !c.outputs[s.FromIface] {
+				return fmt.Errorf("dataflow: stream %q: component %q has no output interface %q", s.Name, s.FromComp, s.FromIface)
+			}
+		}
+		if !s.IsSink() {
+			c, ok := g.components[s.ToComp]
+			if !ok {
+				return fmt.Errorf("dataflow: stream %q: unknown consumer component %q", s.Name, s.ToComp)
+			}
+			if !c.inputs[s.ToIface] {
+				return fmt.Errorf("dataflow: stream %q: component %q has no input interface %q", s.Name, s.ToComp, s.ToIface)
+			}
+		}
+		if s.IsSource() && s.IsSink() {
+			return fmt.Errorf("dataflow: stream %q connects nothing to nothing", s.Name)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the graph so strategies can be applied to a copy.
+func (g *Graph) Clone() *Graph {
+	ng := NewGraph(g.Name)
+	for _, c := range g.Components() {
+		nc := ng.Component(c.Name)
+		nc.Rep = c.Rep
+		nc.Deps = c.Deps
+		nc.Coordination = c.Coordination
+		if c.OutSchema != nil {
+			nc.OutSchema = make(map[string]fd.AttrSet, len(c.OutSchema))
+			for k, v := range c.OutSchema {
+				nc.OutSchema[k] = v
+			}
+		}
+		for _, p := range c.Paths {
+			nc.AddPath(p.From, p.To, p.Ann)
+		}
+	}
+	for _, s := range g.streams {
+		ns := ng.Connect(s.Name, s.FromComp, s.FromIface, s.ToComp, s.ToIface)
+		ns.Seal = s.Seal
+		ns.Rep = s.Rep
+	}
+	return ng
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]*Component) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

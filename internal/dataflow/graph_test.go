@@ -1,0 +1,109 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"blazes/internal/core"
+	"blazes/internal/fd"
+)
+
+func TestGraphBuilder(t *testing.T) {
+	g := NewGraph("g")
+	c := g.Component("A")
+	c.AddPath("in", "out", core.CR)
+	if got := g.Component("A"); got != c {
+		t.Error("Component should return the existing component")
+	}
+	if got := c.Inputs(); len(got) != 1 || got[0] != "in" {
+		t.Errorf("Inputs = %v", got)
+	}
+	if got := c.Outputs(); len(got) != 1 || got[0] != "out" {
+		t.Errorf("Outputs = %v", got)
+	}
+	g.Source("src", "A", "in")
+	g.Sink("snk", "A", "out")
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("component without paths", func(t *testing.T) {
+		g := NewGraph("g")
+		g.Component("empty")
+		if err := g.Validate(); err == nil {
+			t.Error("want error for component without paths")
+		}
+	})
+	t.Run("unknown producer", func(t *testing.T) {
+		g := NewGraph("g")
+		g.Component("A").AddPath("in", "out", core.CR)
+		g.Connect("s", "Nope", "out", "A", "in")
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "Nope") {
+			t.Errorf("want unknown-producer error, got %v", err)
+		}
+	})
+	t.Run("unknown interface", func(t *testing.T) {
+		g := NewGraph("g")
+		g.Component("A").AddPath("in", "out", core.CR)
+		g.Source("s", "A", "wrong")
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "wrong") {
+			t.Errorf("want unknown-interface error, got %v", err)
+		}
+	})
+	t.Run("dangling stream", func(t *testing.T) {
+		g := NewGraph("g")
+		g.Component("A").AddPath("in", "out", core.CR)
+		g.Connect("s", "", "", "", "")
+		if err := g.Validate(); err == nil {
+			t.Error("want error for stream with no endpoints")
+		}
+	})
+}
+
+func TestStreamQueries(t *testing.T) {
+	g := WordcountTopology(false)
+	into := g.StreamsInto("Count", "words")
+	if len(into) != 1 || into[0].Name != "words" {
+		t.Errorf("StreamsInto = %v", into)
+	}
+	outof := g.StreamsOutOf("Splitter", "words")
+	if len(outof) != 1 || outof[0].Name != "words" {
+		t.Errorf("StreamsOutOf = %v", outof)
+	}
+	if g.Stream("words") == nil || g.Stream("nothere") != nil {
+		t.Error("Stream lookup misbehaves")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := WordcountTopology(true)
+	g.Lookup("Count").Coordination = CoordSealed
+	c := g.Clone()
+	c.Lookup("Count").Coordination = CoordNone
+	c.Stream("tweets").Seal = fd.NewAttrSet("other")
+	if g.Lookup("Count").Coordination != CoordSealed {
+		t.Error("clone mutated original coordination")
+	}
+	if !g.Stream("tweets").Seal.Equal(fd.NewAttrSet("batch")) {
+		t.Error("clone mutated original seal")
+	}
+}
+
+func TestCoordinationString(t *testing.T) {
+	tests := []struct {
+		c    Coordination
+		want string
+	}{
+		{CoordNone, "none"},
+		{CoordSequenced, "sequencing (M1)"},
+		{CoordDynamicOrder, "dynamic ordering (M2)"},
+		{CoordSealed, "sealing (M3)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

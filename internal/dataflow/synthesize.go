@@ -1,0 +1,329 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blazes/internal/core"
+	"blazes/internal/fd"
+)
+
+// Strategy is a synthesized coordination plan for one component (Section
+// V-B): either the cheap seal-based protocol (per-partition barriers driven
+// by producer punctuations and a unanimous vote) or an ordering mechanism.
+type Strategy struct {
+	// Component names the component whose inputs are coordinated.
+	Component string
+	// Mechanism is the chosen delivery mechanism.
+	Mechanism Coordination
+	// SealKeys maps each gating input stream to the seal key on which its
+	// partitions close (CoordSealed only).
+	SealKeys map[string]fd.AttrSet
+	// Inputs lists the input streams routed through the ordering service
+	// (CoordSequenced / CoordDynamicOrder only).
+	Inputs []string
+	// Reason explains why this mechanism was selected.
+	Reason string
+}
+
+// String summarizes the strategy.
+func (s Strategy) String() string {
+	switch s.Mechanism {
+	case CoordSealed:
+		keys := make([]string, 0, len(s.SealKeys))
+		for stream, key := range s.SealKeys {
+			keys = append(keys, fmt.Sprintf("%s on (%s)", stream, key))
+		}
+		sort.Strings(keys)
+		return fmt.Sprintf("%s: seal-based coordination — %s", s.Component, strings.Join(keys, "; "))
+	case CoordSequenced, CoordDynamicOrder:
+		return fmt.Sprintf("%s: %s over inputs %s", s.Component, s.Mechanism, strings.Join(s.Inputs, ", "))
+	default:
+		return fmt.Sprintf("%s: no coordination required", s.Component)
+	}
+}
+
+// SynthesisOptions tunes strategy selection.
+type SynthesisOptions struct {
+	// PreferSequencing selects M1 (preordained order, e.g. Storm
+	// transactional batch ids) instead of M2 when ordering is required —
+	// appropriate for replay-based fault tolerance, which needs cross-run
+	// determinism. The default M2 models a dynamic ordering service such
+	// as Zookeeper, which removes replication anomalies but not cross-run
+	// nondeterminism (Figure 5).
+	PreferSequencing bool
+}
+
+// Synthesize inspects an analysis and produces one strategy per component
+// that needs coordination machinery:
+//
+//   - Components where an anomaly *originates* (an inference rule fired on
+//     deterministic inputs and reconciliation added Run/Inst/Diverge) get a
+//     sealing strategy when the derived labels of their rendezvousing
+//     streams carry compatible seals, and an ordering strategy otherwise.
+//   - Components that consume compatible seals (blocked per-partition
+//     processing) get a CoordSealed strategy so the runtime installs the
+//     punctuation/voting protocol, even though their outputs are already
+//     deterministic.
+//
+// Components that merely propagate upstream nondeterminism produce no
+// strategy: coordinating them cannot repair contents that already differ
+// (fix the origin and re-analyze — see Repair).
+func Synthesize(a *Analysis, opts SynthesisOptions) []Strategy {
+	var out []Strategy
+	cg := a.Collapsed
+	for _, comp := range cg.Components() {
+		if comp.Coordination != CoordNone {
+			continue // already coordinated
+		}
+		ca := a.Components[comp.Name]
+		if ca == nil {
+			continue
+		}
+		switch {
+		case originatesAnomaly(ca):
+			if keys, ok := sealPlan(a, cg, comp); ok {
+				out = append(out, Strategy{
+					Component: comp.Name,
+					Mechanism: CoordSealed,
+					SealKeys:  keys,
+					Reason:    "order-sensitive paths are compatible with the seals on their rendezvousing inputs",
+				})
+				continue
+			}
+			mech, reason := CoordDynamicOrder,
+				"no compatible seal available; replicas must process state-modifying events in a single order"
+			if opts.PreferSequencing {
+				mech, reason = CoordSequenced,
+					"no compatible seal available; replay-based fault tolerance requires a preordained total order"
+			}
+			out = append(out, Strategy{
+				Component: comp.Name,
+				Mechanism: mech,
+				Inputs:    allInputStreams(cg, comp),
+				Reason:    reason,
+			})
+		case consumesSeal(ca):
+			keys, ok := sealPlan(a, cg, comp)
+			if !ok {
+				// Defensive: the analysis says seals protect this
+				// component, so a plan must exist; fall back to reporting
+				// the consumed keys directly from the steps.
+				keys = consumedSealKeys(a, cg, comp)
+			}
+			out = append(out, Strategy{
+				Component: comp.Name,
+				Mechanism: CoordSealed,
+				SealKeys:  keys,
+				Reason:    "sealed inputs gate per-partition processing; install the punctuation/voting protocol",
+			})
+		}
+	}
+	return out
+}
+
+// originatesAnomaly reports whether reconciliation added an anomaly label
+// (Run or worse) at this component *and* some inference rule fired on a
+// deterministic input — i.e. the nondeterminism is born here rather than
+// inherited.
+func originatesAnomaly(ca *ComponentAnalysis) bool {
+	added := false
+	for _, rec := range ca.Reconciliations {
+		for _, l := range rec.Added {
+			if l.Severity() >= core.Run.Severity() {
+				added = true
+			}
+		}
+	}
+	if !added {
+		return false
+	}
+	for _, st := range ca.Steps {
+		switch st.Rule {
+		case core.Rule1, core.Rule2, core.Rule4, core.Rule1Seal:
+			if st.In.Kind == core.LAsync || st.In.Kind == core.LSeal {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// consumesSeal reports whether the component blocks on sealed partitions:
+// an order-sensitive path consumed a compatible seal, or a protected NDRead
+// was reconciled to Async.
+func consumesSeal(ca *ComponentAnalysis) bool {
+	for _, st := range ca.Steps {
+		if st.In.Kind == core.LSeal && st.Ann.OrderSensitive() && st.Rule == core.RuleP {
+			return true
+		}
+	}
+	for _, rec := range ca.Reconciliations {
+		hasND := false
+		for _, l := range rec.Input {
+			if l.Kind == core.LNDRead {
+				hasND = true
+			}
+		}
+		if !hasND {
+			continue
+		}
+		for _, l := range rec.Added {
+			if l.Equal(core.Async) {
+				return true // protected NDRead
+			}
+		}
+	}
+	return false
+}
+
+// sealPlan checks M3 applicability using the *derived* labels of the input
+// streams (so seals that propagated through upstream confluent components
+// count). For every order-sensitive path:
+//
+//   - a write path's own input streams must carry compatible Seal labels
+//     (its state partitions must stop changing);
+//   - a read path rendezvouses with the component's state: the streams
+//     feeding the component's write paths must carry compatible Seal labels
+//     (the read blocks until the partition it touches is complete). A read
+//     path with no write siblings reads its own input, which must then be
+//     sealed itself.
+//
+// It returns the per-stream seal keys gating the component.
+func sealPlan(a *Analysis, g *Graph, comp *Component) (map[string]fd.AttrSet, bool) {
+	writeIfaces := map[string]bool{}
+	for _, p := range comp.Paths {
+		if p.Ann.Write {
+			writeIfaces[p.From] = true
+		}
+	}
+
+	keys := map[string]fd.AttrSet{}
+	checkIface := func(iface string, gate core.Annotation) bool {
+		streams := g.StreamsInto(comp.Name, iface)
+		if len(streams) == 0 {
+			return false
+		}
+		for _, s := range streams {
+			l := a.StreamLabels[s.Name]
+			if l.Kind != core.LSeal {
+				return false
+			}
+			if !gate.SealCompatible(l.Key, comp.Deps) {
+				return false
+			}
+			keys[s.Name] = l.Key
+		}
+		return true
+	}
+
+	found := false
+	for _, p := range comp.Paths {
+		if !p.Ann.OrderSensitive() {
+			continue
+		}
+		found = true
+		if p.Ann.GateStar || p.Ann.Gate.IsEmpty() {
+			return nil, false
+		}
+		if p.Ann.Write {
+			if !checkIface(p.From, p.Ann) {
+				return nil, false
+			}
+			continue
+		}
+		// Read path: gate on the state-building inputs.
+		rendezvous := sortedBoolKeys(writeIfaces)
+		if len(rendezvous) == 0 {
+			rendezvous = []string{p.From}
+		}
+		for _, iface := range rendezvous {
+			if !checkIface(iface, p.Ann) {
+				return nil, false
+			}
+		}
+	}
+	if !found || len(keys) == 0 {
+		return nil, false
+	}
+	return keys, true
+}
+
+// consumedSealKeys reports the seal keys observed on inputs to
+// order-sensitive paths (fallback reporting).
+func consumedSealKeys(a *Analysis, g *Graph, comp *Component) map[string]fd.AttrSet {
+	keys := map[string]fd.AttrSet{}
+	for _, p := range comp.Paths {
+		for _, s := range g.StreamsInto(comp.Name, p.From) {
+			if l := a.StreamLabels[s.Name]; l.Kind == core.LSeal {
+				keys[s.Name] = l.Key
+			}
+		}
+	}
+	return keys
+}
+
+func allInputStreams(g *Graph, comp *Component) []string {
+	var out []string
+	for _, in := range comp.Inputs() {
+		for _, s := range g.StreamsInto(comp.Name, in) {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply returns a copy of g with the strategies applied (components marked
+// with their coordination mechanism). Strategies synthesized against a
+// collapsed graph may name supernodes ("scc+A+B"); those are applied to
+// every member component of the original graph.
+func Apply(g *Graph, strategies []Strategy) *Graph {
+	ng := g.Clone()
+	for _, st := range strategies {
+		if comp := ng.Lookup(st.Component); comp != nil {
+			comp.Coordination = st.Mechanism
+			continue
+		}
+		if rest, ok := strings.CutPrefix(st.Component, "scc+"); ok {
+			for _, member := range strings.Split(rest, "+") {
+				if comp := ng.Lookup(member); comp != nil {
+					comp.Coordination = st.Mechanism
+				}
+			}
+		}
+	}
+	return ng
+}
+
+// Repair analyzes g, synthesizes strategies, applies them, and re-analyzes,
+// iterating until no further strategies are produced. It returns the final
+// analysis and all strategies applied, in application order.
+func Repair(g *Graph, opts SynthesisOptions) (*Analysis, []Strategy, error) {
+	var all []Strategy
+	cur := g
+	for i := 0; i <= len(g.Components()); i++ {
+		a, err := Analyze(cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := Synthesize(a, opts)
+		if len(st) == 0 {
+			return a, all, nil
+		}
+		all = append(all, st...)
+		cur = Apply(cur, st)
+	}
+	a, err := Analyze(cur)
+	return a, all, err
+}

@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+
+	"blazes/internal/coord"
+	"blazes/internal/sim"
+)
+
+// This file makes Figure 5 empirically observable: a two-producer,
+// two-replica component is run under every combination of component
+// property (confluent / convergent / order-sensitive) and delivery
+// mechanism (none / M1 sequencing / M2 dynamic ordering / M3 sealing), and
+// the three anomaly classes are detected by comparing outputs across
+// replicas (Inst), across runs (Run), and final states across replicas
+// (Diverge).
+
+// Property is the component property axis of Figure 5.
+type Property int
+
+// Component properties (P1, P2, and the unconstrained order-sensitive
+// case).
+const (
+	Confluent Property = iota
+	Convergent
+	OrderSensitive
+)
+
+// String names the property.
+func (p Property) String() string {
+	switch p {
+	case Confluent:
+		return "confluent (P1)"
+	case Convergent:
+		return "convergent (P2)"
+	default:
+		return "order-sensitive"
+	}
+}
+
+// Mechanism is the delivery-mechanism axis of Figure 5.
+type Mechanism int
+
+// Delivery mechanisms.
+const (
+	MechNone Mechanism = iota
+	MechSequenced
+	MechDynamic
+	MechSealed
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case MechNone:
+		return "none"
+	case MechSequenced:
+		return "sequencing (M1)"
+	case MechDynamic:
+		return "dynamic order (M2)"
+	default:
+		return "sealing (M3)"
+	}
+}
+
+// Anomalies records which anomaly classes were observed for one cell.
+type Anomalies struct {
+	Run     bool // cross-run nondeterminism
+	Inst    bool // cross-instance nondeterminism
+	Diverge bool // replica divergence
+}
+
+func (a Anomalies) String() string {
+	mark := func(b bool) string {
+		if b {
+			return "X"
+		}
+		return "-"
+	}
+	return fmt.Sprintf("Run:%s Inst:%s Div:%s", mark(a.Run), mark(a.Inst), mark(a.Diverge))
+}
+
+// testMsg is one producer message; Stamp is a predetermined logical
+// timestamp making the convergent (LWW) register's final state
+// run-independent.
+type testMsg struct {
+	Producer string
+	Seq      int
+	Stamp    int
+}
+
+func (m testMsg) value() string { return fmt.Sprintf("%s:%d", m.Producer, m.Seq) }
+
+// replicaState is one replica of the component under test.
+type replicaState struct {
+	prop Property
+	// confluent: a grow-only set.
+	set map[string]bool
+	// convergent: last-writer-wins register.
+	regStamp int
+	regVal   string
+	// order-sensitive: per-partition arrival-order hash chains.
+	chains map[string]uint64
+	// outputs is the emitted read-response trace.
+	outputs []string
+}
+
+func newReplicaState(p Property) *replicaState {
+	return &replicaState{prop: p, set: map[string]bool{}, chains: map[string]uint64{}}
+}
+
+func (r *replicaState) apply(m testMsg) {
+	switch r.prop {
+	case Confluent:
+		r.set[m.value()] = true
+	case Convergent:
+		if m.Stamp > r.regStamp {
+			r.regStamp, r.regVal = m.Stamp, m.value()
+		}
+	case OrderSensitive:
+		r.chains[m.Producer] = chainHash(r.chains[m.Producer], m.value())
+	}
+}
+
+func (r *replicaState) read() {
+	r.outputs = append(r.outputs, r.snapshot())
+}
+
+func (r *replicaState) snapshot() string {
+	switch r.prop {
+	case Confluent:
+		var vals []string
+		for v := range r.set {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		return strings.Join(vals, ",")
+	case Convergent:
+		return r.regVal
+	default:
+		var parts []string
+		keys := make([]string, 0, len(r.chains))
+		for k := range r.chains {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%x", k, r.chains[k]))
+		}
+		return strings.Join(parts, " ")
+	}
+}
+
+// final returns the component's terminal state digest.
+func (r *replicaState) final() string { return r.snapshot() }
+
+// trace returns the comparable output stream. Confluent components are
+// compared on their eventual output set only (transient subsets are the
+// benign Async behaviour, not an anomaly).
+func (r *replicaState) trace() []string {
+	if r.prop == Confluent {
+		return []string{r.final()}
+	}
+	return append(append([]string{}, r.outputs...), r.final())
+}
+
+func chainHash(prev uint64, v string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%x|%s", prev, v)
+	return h.Sum64()
+}
+
+// cellRun executes one (property, mechanism) cell for one seed and returns
+// each replica's trace and final state.
+func cellRun(seed int64, prop Property, mech Mechanism) (traces [2][]string, finals [2]string) {
+	const producers = 2
+	const perProducer = 10
+	const reads = 4
+	span := 100 * sim.Millisecond
+
+	s := sim.New(seed)
+	reps := [2]*replicaState{newReplicaState(prop), newReplicaState(prop)}
+
+	var msgs []testMsg
+	for p := 0; p < producers; p++ {
+		for i := 0; i < perProducer; i++ {
+			msgs = append(msgs, testMsg{
+				Producer: fmt.Sprintf("p%d", p),
+				Seq:      i,
+				Stamp:    i*producers + p + 1,
+			})
+		}
+	}
+	sendTime := func(m testMsg) sim.Time {
+		return span * sim.Time(m.Seq*producers) / sim.Time(len(msgs))
+	}
+	jitter := func() sim.Time { return sim.Time(s.Rand().Int63n(int64(20 * sim.Millisecond))) }
+	readTimes := make([]sim.Time, reads)
+	for i := range readTimes {
+		readTimes[i] = span * sim.Time(i+1) / sim.Time(reads+1)
+	}
+
+	switch mech {
+	case MechNone:
+		for _, m := range msgs {
+			m := m
+			for _, r := range reps {
+				r := r
+				s.At(sendTime(m)+jitter(), func() { r.apply(m) })
+			}
+		}
+		for _, t := range readTimes {
+			for _, r := range reps {
+				r := r
+				s.At(t+jitter(), func() { r.read() })
+			}
+		}
+
+	case MechSequenced:
+		// M1: a preordained total order — messages by global index, with
+		// reads interleaved at fixed positions. Fully deterministic.
+		type step struct {
+			msg  *testMsg
+			read bool
+		}
+		var order []step
+		for i, m := range msgs {
+			m := m
+			order = append(order, step{msg: &m})
+			if (i+1)%(len(msgs)/(reads+1)+1) == 0 {
+				order = append(order, step{read: true})
+			}
+		}
+		order = append(order, step{read: true})
+		at := sim.Time(0)
+		for _, st := range order {
+			st := st
+			at += sim.Millisecond
+			s.At(at, func() {
+				for _, r := range reps {
+					if st.read {
+						r.read()
+					} else {
+						r.apply(*st.msg)
+					}
+				}
+			})
+		}
+
+	case MechDynamic:
+		// M2: the ordering service decides per-run arrival order; reads
+		// are sequenced too, so replicas agree within the run.
+		cfg := coord.DefaultSequencer
+		cfg.SubmitDelay.MaxDelay = 20 * sim.Millisecond
+		seq := coord.NewSequencer(s, cfg)
+		for _, r := range reps {
+			r := r
+			seq.Subscribe(func(m coord.Sequenced) {
+				switch v := m.Msg.(type) {
+				case testMsg:
+					r.apply(v)
+				case string:
+					r.read()
+				}
+			})
+		}
+		for _, m := range msgs {
+			m := m
+			s.At(sendTime(m), func() { seq.Submit(m) })
+		}
+		for i, t := range readTimes {
+			i := i
+			s.At(t, func() { seq.Submit(fmt.Sprintf("read%d", i)) })
+		}
+
+	case MechSealed:
+		// M3: per-producer partitions; the component buffers each
+		// partition until sealed, then folds it in canonical order.
+		// Reads wait until every partition has sealed.
+		for ri := range reps {
+			r := reps[ri]
+			tracker := coord.NewSealTracker(func(partition string, buffered []any) {
+				var vals []testMsg
+				for _, b := range buffered {
+					vals = append(vals, b.(testMsg))
+				}
+				sort.Slice(vals, func(i, j int) bool { return vals[i].Seq < vals[j].Seq })
+				for _, m := range vals {
+					r.apply(m)
+				}
+			})
+			for p := 0; p < producers; p++ {
+				tracker.SetExpected(fmt.Sprintf("p%d", p), []string{fmt.Sprintf("p%d", p)})
+			}
+			// Data arrives with jitter bounded by 20ms; the producer's
+			// punctuation follows its stream (FIFO contract), so seals
+			// are delivered strictly after every possible data arrival.
+			for _, m := range msgs {
+				m := m
+				s.At(sendTime(m)+jitter(), func() { tracker.Data(m.Producer, m) })
+			}
+			sealFloor := span + 25*sim.Millisecond
+			for p := 0; p < producers; p++ {
+				p := p
+				s.At(sealFloor+jitter(), func() {
+					tracker.Seal(coord.Punctuation{Partition: fmt.Sprintf("p%d", p), Producer: fmt.Sprintf("p%d", p)})
+				})
+			}
+			// Reads are held until every partition has sealed (the
+			// component's gate spans all partitions), i.e. strictly after
+			// the last possible seal arrival.
+			for range readTimes {
+				s.At(sealFloor+30*sim.Millisecond, func() { r.read() })
+			}
+		}
+	}
+
+	s.Run()
+	for i, r := range reps {
+		traces[i] = r.trace()
+		finals[i] = r.final()
+	}
+	return traces, finals
+}
+
+// Cell identifies one matrix cell.
+type Cell struct {
+	Prop Property
+	Mech Mechanism
+}
+
+// Fig5Matrix runs every cell across the given seeds and reports the
+// anomalies observed.
+func Fig5Matrix(seeds int) map[Cell]Anomalies {
+	out := map[Cell]Anomalies{}
+	for _, prop := range []Property{Confluent, Convergent, OrderSensitive} {
+		for _, mech := range []Mechanism{MechNone, MechSequenced, MechDynamic, MechSealed} {
+			var a Anomalies
+			var baseTrace []string
+			var baseFinal string
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				traces, finals := cellRun(seed, prop, mech)
+				if !equalTraces(traces[0], traces[1]) {
+					a.Inst = true
+				}
+				if finals[0] != finals[1] {
+					a.Diverge = true
+				}
+				if seed == 1 {
+					baseTrace, baseFinal = traces[0], finals[0]
+				} else if !equalTraces(baseTrace, traces[0]) || baseFinal != finals[0] {
+					a.Run = true
+				}
+			}
+			out[Cell{prop, mech}] = a
+		}
+	}
+	return out
+}
+
+func equalTraces(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintFig5 renders the observed matrix next to Figure 5's predictions.
+func PrintFig5(w io.Writer, m map[Cell]Anomalies) {
+	fmt.Fprintln(w, "Figure 5: observed anomalies by component property × delivery mechanism")
+	fmt.Fprintf(w, "%-18s %-20s %s\n", "property", "mechanism", "anomalies observed")
+	for _, prop := range []Property{Confluent, Convergent, OrderSensitive} {
+		for _, mech := range []Mechanism{MechNone, MechSequenced, MechDynamic, MechSealed} {
+			fmt.Fprintf(w, "%-18s %-20s %s\n", prop, mech, m[Cell{prop, mech}])
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAttrSetCanonicalizes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []string
+		want []string
+	}{
+		{"empty", nil, []string{}},
+		{"single", []string{"id"}, []string{"id"}},
+		{"dedup", []string{"id", "id", "id"}, []string{"id"}},
+		{"sorted", []string{"window", "id", "campaign"}, []string{"campaign", "id", "window"}},
+		{"blank dropped", []string{"", "id", ""}, []string{"id"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewAttrSet(tt.in...).Attrs()
+			if len(got) == 0 && len(tt.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("NewAttrSet(%v).Attrs() = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAttrSetContains(t *testing.T) {
+	s := NewAttrSet("id", "window")
+	if !s.Contains("id") || !s.Contains("window") {
+		t.Errorf("Contains should report members of %v", s)
+	}
+	if s.Contains("campaign") || s.Contains("") {
+		t.Errorf("Contains should reject non-members of %v", s)
+	}
+}
+
+func TestAttrSetSubsetOf(t *testing.T) {
+	tests := []struct {
+		s, t AttrSet
+		want bool
+	}{
+		{NewAttrSet(), NewAttrSet("a"), true},
+		{NewAttrSet(), NewAttrSet(), true},
+		{NewAttrSet("a"), NewAttrSet("a", "b"), true},
+		{NewAttrSet("a", "b"), NewAttrSet("a", "b"), true},
+		{NewAttrSet("a", "c"), NewAttrSet("a", "b"), false},
+		{NewAttrSet("a", "b"), NewAttrSet("a"), false},
+	}
+	for _, tt := range tests {
+		if got := tt.s.SubsetOf(tt.t); got != tt.want {
+			t.Errorf("(%v).SubsetOf(%v) = %v, want %v", tt.s, tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	a := NewAttrSet("id", "window")
+	b := NewAttrSet("window", "campaign")
+
+	if got := a.Union(b); got.String() != "campaign,id,window" {
+		t.Errorf("Union = %q", got)
+	}
+	if got := a.Intersect(b); got.String() != "window" {
+		t.Errorf("Intersect = %q", got)
+	}
+	if got := a.Minus(b); got.String() != "id" {
+		t.Errorf("Minus = %q", got)
+	}
+	if !a.Equal(NewAttrSet("window", "id")) {
+		t.Error("Equal should be order-insensitive")
+	}
+	if a.Equal(b) {
+		t.Error("distinct sets reported Equal")
+	}
+}
+
+func TestAttrSetStringAndKey(t *testing.T) {
+	s := NewAttrSet("word", "batch")
+	if s.String() != "batch,word" {
+		t.Errorf("String = %q, want %q", s.String(), "batch,word")
+	}
+	if s.Key() != NewAttrSet("batch", "word").Key() {
+		t.Error("Key must be canonical across construction orders")
+	}
+}
+
+// genAttrSet produces small random attribute sets over a fixed universe so
+// that property tests exercise overlapping sets frequently.
+func genAttrSet(r *rand.Rand) AttrSet {
+	universe := []string{"a", "b", "c", "d", "e"}
+	var names []string
+	for _, u := range universe {
+		if r.Intn(2) == 0 {
+			names = append(names, u)
+		}
+	}
+	return NewAttrSet(names...)
+}
+
+func TestAttrSetUnionProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	commutative := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genAttrSet(r), genAttrSet(r)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+
+	associative := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genAttrSet(r), genAttrSet(r), genAttrSet(r)
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("union not associative: %v", err)
+	}
+
+	idempotent := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genAttrSet(r)
+		return a.Union(a).Equal(a)
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Errorf("union not idempotent: %v", err)
+	}
+}
+
+func TestAttrSetMinusIntersectLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	partition := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genAttrSet(r), genAttrSet(r)
+		// a = (a ∩ b) ∪ (a − b), and the two parts are disjoint.
+		inter, diff := a.Intersect(b), a.Minus(b)
+		return inter.Union(diff).Equal(a) && inter.Intersect(diff).IsEmpty()
+	}
+	if err := quick.Check(partition, cfg); err != nil {
+		t.Errorf("minus/intersect partition law failed: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package fd
+
+// Lineage records how one stage of a dataflow maps attributes of its input
+// to attributes of its output. A stage preserves an attribute (identity
+// lineage), renames it, derives it non-injectively (e.g. an aggregate over
+// it), or drops it. Composing lineages across stages and closing over the
+// identity chains is the "chase" of Section V-A1/VII-B2: a sound but
+// incomplete procedure for detecting injective functional dependencies, which
+// exploits the common special case that the identity function is injective,
+// as is any series of transitive applications of it.
+type Lineage struct {
+	set *Set
+}
+
+// NewLineage returns an empty lineage accumulator.
+func NewLineage() *Lineage { return &Lineage{set: NewSet()} }
+
+// Preserve records that the stage carries attr through unchanged.
+func (l *Lineage) Preserve(attr string) { l.set.Add(Identity(attr)) }
+
+// RenameTo records that input attribute from is emitted as output attribute
+// to without transformation (an injective identity application under
+// renaming).
+func (l *Lineage) RenameTo(from, to string) { l.set.Add(Rename(from, to)) }
+
+// Derive records that output attribute to is computed from the input
+// attributes in from by an arbitrary (not necessarily injective) function.
+func (l *Lineage) Derive(from AttrSet, to string) {
+	l.set.Add(NewFD(from, NewAttrSet(to)))
+}
+
+// DeriveInjective records that output attribute to is computed from from by
+// a function the caller asserts is injective (for example a tagged encoding
+// of a composite key).
+func (l *Lineage) DeriveInjective(from AttrSet, to string) {
+	l.set.Add(NewInjectiveFD(from, NewAttrSet(to)))
+}
+
+// Set exposes the accumulated dependency set.
+func (l *Lineage) Set() *Set { return l.set }
+
+// Compose merges the dependencies of several lineages (e.g. the stages of a
+// dataflow path) into one set; the closure over the merged set performs the
+// transitive chase across the composition.
+func Compose(stages ...*Lineage) *Set {
+	out := NewSet()
+	for _, st := range stages {
+		if st == nil {
+			continue
+		}
+		for _, f := range st.set.fds {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+// ChaseSeal maps a seal key through a composed lineage: it returns the set
+// of output attributes injectively determined by the key, i.e. the keys on
+// which the downstream stream remains implicitly sealed. An empty result
+// means the seal is lost through this composition.
+func ChaseSeal(key AttrSet, through *Set) AttrSet {
+	return through.InjectiveClosure(key)
+}

@@ -1,0 +1,78 @@
+package fd
+
+import "testing"
+
+func TestLineagePreserveAndRename(t *testing.T) {
+	l := NewLineage()
+	l.Preserve("campaign")
+	l.RenameTo("clicks.id", "response.id")
+
+	if !l.Set().InjectivelyDetermines(NewAttrSet("campaign"), NewAttrSet("campaign")) {
+		t.Error("preserved attribute should injectively determine itself")
+	}
+	if !l.Set().InjectivelyDetermines(NewAttrSet("clicks.id"), NewAttrSet("response.id")) {
+		t.Error("rename should record an injective dependency")
+	}
+}
+
+func TestLineageDeriveIsNotInjective(t *testing.T) {
+	l := NewLineage()
+	l.Derive(NewAttrSet("clicks.id"), "count")
+	if l.Set().InjectivelyDetermines(NewAttrSet("clicks.id"), NewAttrSet("count")) {
+		t.Error("Derive must not produce injective dependencies")
+	}
+	if !l.Set().Determines(NewAttrSet("clicks.id"), NewAttrSet("count")) {
+		t.Error("Derive should still record a plain dependency")
+	}
+}
+
+func TestComposeChasesAcrossStages(t *testing.T) {
+	// Stage 1: splitter preserves batch, derives word from tweet text.
+	s1 := NewLineage()
+	s1.Preserve("batch")
+	s1.Derive(NewAttrSet("text"), "word")
+
+	// Stage 2: counter preserves word and batch, derives count.
+	s2 := NewLineage()
+	s2.Preserve("word")
+	s2.Preserve("batch")
+	s2.Derive(NewAttrSet("word", "batch"), "count")
+
+	composed := Compose(s1, s2)
+	sealed := ChaseSeal(NewAttrSet("batch"), composed)
+	if !sealed.Contains("batch") {
+		t.Errorf("batch seal should survive the composition, got %v", sealed)
+	}
+	if sealed.Contains("count") {
+		t.Errorf("count must not be implicitly sealed, got %v", sealed)
+	}
+}
+
+func TestComposeSkipsNil(t *testing.T) {
+	s1 := NewLineage()
+	s1.Preserve("a")
+	composed := Compose(nil, s1, nil)
+	if !composed.InjectivelyDetermines(NewAttrSet("a"), NewAttrSet("a")) {
+		t.Error("compose with nils should keep stage dependencies")
+	}
+}
+
+func TestChaseSealLostThroughAggregation(t *testing.T) {
+	// An aggregation that groups on a derived, non-injective column loses
+	// the seal: nothing in the output is injectively determined by the key.
+	l := NewLineage()
+	l.Derive(NewAttrSet("campaign"), "bucket") // e.g. hash-bucketed, not injective
+	sealed := ChaseSeal(NewAttrSet("campaign"), l.Set())
+	if sealed.Contains("bucket") {
+		t.Error("non-injective derivation must not carry the seal")
+	}
+}
+
+func TestDeriveInjectiveCarriesSeal(t *testing.T) {
+	l := NewLineage()
+	l.DeriveInjective(NewAttrSet("campaign", "id"), "pairkey")
+	sealed := ChaseSeal(NewAttrSet("campaign", "id"), l.Set())
+	if !sealed.Contains("pairkey") {
+		t.Error("caller-asserted injective derivation should carry the seal")
+	}
+}

@@ -1,0 +1,162 @@
+package fd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FD is a functional dependency From → To. When Injective is set, the
+// dependency additionally preserves distinctness: distinct values of From map
+// to distinct values of To. Only injective dependencies transfer seals — if
+// we have seen every value of From, we have seen every f(From) for an
+// injective f (Section V-A1 of the paper).
+type FD struct {
+	From      AttrSet
+	To        AttrSet
+	Injective bool
+}
+
+// NewFD builds a (non-injective) functional dependency.
+func NewFD(from, to AttrSet) FD { return FD{From: from, To: to} }
+
+// NewInjectiveFD builds an injective functional dependency, such as the
+// identity dependency introduced by projecting an attribute without
+// transformation.
+func NewInjectiveFD(from, to AttrSet) FD { return FD{From: from, To: to, Injective: true} }
+
+// Identity returns the trivial injective dependency attr → attr.
+func Identity(attr string) FD {
+	s := NewAttrSet(attr)
+	return FD{From: s, To: s, Injective: true}
+}
+
+// Rename returns the injective dependency from → to introduced when an
+// attribute is projected (possibly under a new name) without transformation.
+func Rename(from, to string) FD {
+	return FD{From: NewAttrSet(from), To: NewAttrSet(to), Injective: true}
+}
+
+// String renders the dependency in the usual arrow notation, with "↣"
+// marking injective dependencies.
+func (f FD) String() string {
+	arrow := "->"
+	if f.Injective {
+		arrow = ">->"
+	}
+	return fmt.Sprintf("%s %s %s", f.From, arrow, f.To)
+}
+
+// Set is a collection of functional dependencies over which closures and
+// chases are computed. The zero value is an empty, usable set.
+type Set struct {
+	fds []FD
+}
+
+// NewSet builds a dependency set from the given dependencies.
+func NewSet(fds ...FD) *Set {
+	s := &Set{}
+	for _, f := range fds {
+		s.Add(f)
+	}
+	return s
+}
+
+// Add inserts a dependency. Dependencies with empty From or To sides are
+// ignored (they are vacuous).
+func (s *Set) Add(f FD) {
+	if f.From.IsEmpty() || f.To.IsEmpty() {
+		return
+	}
+	s.fds = append(s.fds, f)
+}
+
+// AddIdentity inserts the identity dependency for each named attribute.
+func (s *Set) AddIdentity(attrs ...string) {
+	for _, a := range attrs {
+		s.Add(Identity(a))
+	}
+}
+
+// FDs returns a copy of the dependencies in the set.
+func (s *Set) FDs() []FD {
+	out := make([]FD, len(s.fds))
+	copy(out, s.fds)
+	return out
+}
+
+// Len reports the number of dependencies in the set.
+func (s *Set) Len() int { return len(s.fds) }
+
+// Closure computes the attribute closure of start under the dependencies in
+// the set: the largest set X such that start → X. The standard fixpoint
+// algorithm (Maier; Beeri–Bernstein) is used.
+func (s *Set) Closure(start AttrSet) AttrSet {
+	return s.closure(start, false)
+}
+
+// InjectiveClosure computes the closure of start using only injective
+// dependencies, so start ↣ result via a composition of injective functions.
+// Injectivity composes: if f and g are injective, g∘f is injective, which is
+// exactly the transitive "chase" of identity projections through a dataflow.
+func (s *Set) InjectiveClosure(start AttrSet) AttrSet {
+	return s.closure(start, true)
+}
+
+func (s *Set) closure(start AttrSet, injectiveOnly bool) AttrSet {
+	result := start
+	for changed := true; changed; {
+		changed = false
+		for _, f := range s.fds {
+			if injectiveOnly && !f.Injective {
+				continue
+			}
+			if f.From.SubsetOf(result) && !f.To.SubsetOf(result) {
+				result = result.Union(f.To)
+				changed = true
+			}
+		}
+	}
+	return result
+}
+
+// Determines reports whether from → to holds under the set (to is contained
+// in the closure of from).
+func (s *Set) Determines(from, to AttrSet) bool {
+	return to.SubsetOf(s.Closure(from))
+}
+
+// InjectivelyDetermines implements the paper's injectivefd(A, B) predicate:
+// A functionally determines B via some composition of injective
+// (distinctness-preserving) functions recorded in the set.
+func (s *Set) InjectivelyDetermines(from, to AttrSet) bool {
+	if to.IsEmpty() {
+		return false
+	}
+	return to.SubsetOf(s.InjectiveClosure(from))
+}
+
+// Compatible implements the paper's predicate
+//
+//	compatible(gate, key) ≡ ∃ attr ⊆ gate . injectivefd(key, attr)
+//
+// deciding whether a stream sealed on key can drive an order-sensitive
+// component partitioned on gate: some nonempty subset of the gate attributes
+// must be injectively determined by the seal key, so that once every key
+// partition is sealed, the corresponding gate partitions are sealed too.
+func (s *Set) Compatible(gate, key AttrSet) bool {
+	if gate.IsEmpty() || key.IsEmpty() {
+		return false
+	}
+	// ∃ nonempty attr ⊆ gate with attr ⊆ InjectiveClosure(key) — equivalent
+	// to the intersection of gate with the injective closure being nonempty.
+	return !gate.Intersect(s.InjectiveClosure(key)).IsEmpty()
+}
+
+// String lists the dependencies one per line.
+func (s *Set) String() string {
+	parts := make([]string, len(s.fds))
+	for i, f := range s.fds {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "\n")
+}

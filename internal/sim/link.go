@@ -1,0 +1,74 @@
+package sim
+
+// LinkConfig shapes the delivery behaviour of a simulated network channel.
+type LinkConfig struct {
+	// MinDelay/MaxDelay bound the uniformly drawn per-message latency.
+	// MaxDelay > MinDelay yields nondeterministic interleavings across
+	// links — the root cause of the paper's anomalies.
+	MinDelay, MaxDelay Time
+	// DupProb is the probability a message is delivered twice (modelling
+	// at-least-once delivery and sender retry).
+	DupProb float64
+	// DropProb is the probability a message is silently lost.
+	DropProb float64
+}
+
+// DefaultLAN mimics a low-latency datacenter link with mild reordering.
+var DefaultLAN = LinkConfig{MinDelay: 200 * Microsecond, MaxDelay: 2 * Millisecond}
+
+// LinkStats counts a link's deliveries.
+type LinkStats struct {
+	Sent      int
+	Delivered int
+	Duplicate int
+	Dropped   int
+}
+
+// Link is a unidirectional message channel between two simulated endpoints.
+// Delivery order is nondeterministic within the configured delay bounds but
+// fully determined by the simulator's seed.
+type Link struct {
+	sim     *Sim
+	cfg     LinkConfig
+	deliver func(msg any)
+	stats   LinkStats
+}
+
+// NewLink creates a link that hands arriving messages to deliver.
+func NewLink(s *Sim, cfg LinkConfig, deliver func(msg any)) *Link {
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	return &Link{sim: s, cfg: cfg, deliver: deliver}
+}
+
+// Send queues msg for delivery after a random delay, possibly duplicating
+// or dropping it per the link configuration.
+func (l *Link) Send(msg any) {
+	l.stats.Sent++
+	if l.cfg.DropProb > 0 && l.sim.rng.Float64() < l.cfg.DropProb {
+		l.stats.Dropped++
+		return
+	}
+	l.scheduleDelivery(msg, false)
+	if l.cfg.DupProb > 0 && l.sim.rng.Float64() < l.cfg.DupProb {
+		l.scheduleDelivery(msg, true)
+	}
+}
+
+func (l *Link) scheduleDelivery(msg any, dup bool) {
+	delay := l.cfg.MinDelay
+	if span := l.cfg.MaxDelay - l.cfg.MinDelay; span > 0 {
+		delay += Time(l.sim.rng.Int63n(int64(span) + 1))
+	}
+	l.sim.After(delay, func() {
+		l.stats.Delivered++
+		if dup {
+			l.stats.Duplicate++
+		}
+		l.deliver(msg)
+	})
+}
+
+// Stats returns the link's delivery counters.
+func (l *Link) Stats() LinkStats { return l.stats }

@@ -1,0 +1,121 @@
+// Package sim is a deterministic discrete-event simulator with virtual time.
+// It supplies the nondeterministic messaging environment in which the
+// paper's anomalies arise — reordering, duplication (at-least-once delivery)
+// and loss — while keeping every run perfectly reproducible from a seed:
+// the same (seed, configuration) pair always yields the same schedule, and
+// different seeds explore different delivery orders. This substitutes for
+// the paper's EC2 testbed; see DESIGN.md §2.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in microseconds.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time as fractional milliseconds.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%03dms", t/Millisecond, t%Millisecond)
+}
+
+// Seconds converts virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim is a single-threaded discrete-event scheduler.
+type Sim struct {
+	now    Time
+	events eventHeap
+	rng    *rand.Rand
+	seq    uint64
+	steps  uint64
+}
+
+// New creates a simulator whose nondeterministic choices are driven by the
+// given seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand exposes the simulator's seeded random source. All randomness in a
+// simulation must flow through it to preserve determinism.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event; it reports false when no events remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ deadline; the clock ends at
+// deadline (or later if an executed event scheduled exactly at it advanced
+// time further).
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Steps reports how many events have executed (useful in tests).
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }

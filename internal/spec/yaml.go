@@ -1,0 +1,395 @@
+// Package spec parses the Blazes configuration files that grey-box users
+// supply (Figure 1, "Blazes spec"): component annotations in the exact
+// format printed in Section VI of the paper, plus a `topology` section
+// describing sources, streams and sinks so a dataflow graph can be built
+// without a host-system adapter.
+//
+// The format is a small YAML subset sufficient for the paper's files:
+// indentation-nested maps, "- " lists, inline flow maps `{k: v, ...}` and
+// lists `[a, b]`, booleans, and `#` comments. The parser is hand-written so
+// the module stays stdlib-only.
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a parsed YAML-subset value: string, bool, []Value, or *Map.
+type Value interface{}
+
+// Map is an insertion-ordered string-keyed map.
+type Map struct {
+	keys   []string
+	values map[string]Value
+}
+
+// NewMap returns an empty ordered map.
+func NewMap() *Map { return &Map{values: map[string]Value{}} }
+
+// Set inserts or replaces a key.
+func (m *Map) Set(key string, v Value) {
+	if _, ok := m.values[key]; !ok {
+		m.keys = append(m.keys, key)
+	}
+	m.values[key] = v
+}
+
+// Get returns the value for key.
+func (m *Map) Get(key string) (Value, bool) {
+	v, ok := m.values[key]
+	return v, ok
+}
+
+// Keys returns the keys in insertion order.
+func (m *Map) Keys() []string { return m.keys }
+
+// Len reports the number of entries.
+func (m *Map) Len() int { return len(m.keys) }
+
+type line struct {
+	num    int
+	indent int
+	text   string // trimmed content
+}
+
+// ParseDocument parses a full document into an ordered map.
+func ParseDocument(src string) (*Map, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	lines = joinContinuations(lines)
+	v, next, err := parseBlock(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("spec: line %d: unexpected content %q", lines[next].num, lines[next].text)
+	}
+	m, ok := v.(*Map)
+	if !ok {
+		return nil, fmt.Errorf("spec: document root must be a mapping")
+	}
+	return m, nil
+}
+
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		stripped := stripComment(raw)
+		trimmed := strings.TrimSpace(stripped)
+		if trimmed == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range stripped {
+			if r == ' ' {
+				indent++
+			} else if r == '\t' {
+				return nil, fmt.Errorf("spec: line %d: tabs are not allowed for indentation", i+1)
+			} else {
+				break
+			}
+		}
+		out = append(out, line{num: i + 1, indent: indent, text: trimmed})
+	}
+	return out, nil
+}
+
+// joinContinuations merges lines whose flow collections ({...}, [...]) are
+// still open onto the following lines — the paper's configuration files wrap
+// long inline maps across lines.
+func joinContinuations(lines []line) []line {
+	var out []line
+	for i := 0; i < len(lines); i++ {
+		cur := lines[i]
+		for flowDepth(cur.text) > 0 && i+1 < len(lines) {
+			i++
+			cur.text += " " + lines[i].text
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// flowDepth counts unbalanced flow-collection delimiters outside quotes.
+func flowDepth(s string) int {
+	depth := 0
+	inSingle, inDouble := false, false
+	for _, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '{', '[':
+			if !inSingle && !inDouble {
+				depth++
+			}
+		case '}', ']':
+			if !inSingle && !inDouble {
+				depth--
+			}
+		}
+	}
+	return depth
+}
+
+// stripComment removes a trailing # comment that is not inside quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses consecutive lines at exactly the given indent into a map
+// or list, returning the value and the index of the first unconsumed line.
+func parseBlock(lines []line, i, indent int) (Value, int, error) {
+	if i >= len(lines) {
+		return NewMap(), i, nil
+	}
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseList(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+func parseList(lines []line, i, indent int) (Value, int, error) {
+	var items []Value
+	for i < len(lines) && lines[i].indent == indent &&
+		(strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-") {
+		rest := strings.TrimSpace(strings.TrimPrefix(lines[i].text, "-"))
+		if rest == "" {
+			return nil, i, fmt.Errorf("spec: line %d: empty list items are not supported", lines[i].num)
+		}
+		v, err := parseInline(rest, lines[i].num)
+		if err != nil {
+			return nil, i, err
+		}
+		items = append(items, v)
+		i++
+	}
+	return items, i, nil
+}
+
+func parseMap(lines []line, i, indent int) (Value, int, error) {
+	m := NewMap()
+	for i < len(lines) && lines[i].indent == indent && !strings.HasPrefix(lines[i].text, "- ") {
+		key, rest, err := splitKey(lines[i].text, lines[i].num)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m.Get(key); dup {
+			return nil, i, fmt.Errorf("spec: line %d: duplicate key %q", lines[i].num, key)
+		}
+		if rest != "" {
+			v, err := parseInline(rest, lines[i].num)
+			if err != nil {
+				return nil, i, err
+			}
+			m.Set(key, v)
+			i++
+			continue
+		}
+		// Nested block: child lines with deeper indent, or — as YAML
+		// allows and the paper's files use — a list whose "- " items sit
+		// at the same indent as the key.
+		i++
+		switch {
+		case i < len(lines) && lines[i].indent > indent:
+			child, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m.Set(key, child)
+			i = next
+		case i < len(lines) && lines[i].indent == indent && strings.HasPrefix(lines[i].text, "- "):
+			child, next, err := parseList(lines, i, indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m.Set(key, child)
+			i = next
+		default:
+			m.Set(key, "")
+		}
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("spec: line %d: unexpected indentation", lines[i].num)
+	}
+	return m, i, nil
+}
+
+// splitKey splits "key: rest" respecting quotes and flow delimiters.
+func splitKey(s string, num int) (key, rest string, err error) {
+	depth := 0
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '{', '[':
+			if !inSingle && !inDouble {
+				depth++
+			}
+		case '}', ']':
+			if !inSingle && !inDouble {
+				depth--
+			}
+		case ':':
+			if inSingle || inDouble || depth > 0 {
+				continue
+			}
+			if i+1 < len(s) && s[i+1] != ' ' {
+				continue // e.g. a URL-ish scalar; treat as part of key text
+			}
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), nil
+		}
+	}
+	if strings.HasSuffix(s, ":") {
+		return strings.TrimSpace(s[:len(s)-1]), "", nil
+	}
+	return "", "", fmt.Errorf("spec: line %d: expected \"key: value\", got %q", num, s)
+}
+
+// parseInline parses a scalar, flow map, or flow list.
+func parseInline(s string, num int) (Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "{"):
+		return parseFlowMap(s, num)
+	case strings.HasPrefix(s, "["):
+		return parseFlowList(s, num)
+	default:
+		return parseScalar(s), nil
+	}
+}
+
+func parseScalar(s string) Value {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch strings.ToLower(s) {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off":
+		return false
+	}
+	return s
+}
+
+func parseFlowMap(s string, num int) (Value, error) {
+	inner, err := stripDelims(s, '{', '}', num)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMap()
+	for _, part := range splitTop(inner) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, rest, err := splitKey(part, num)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseInline(rest, num)
+		if err != nil {
+			return nil, err
+		}
+		m.Set(key, v)
+	}
+	return m, nil
+}
+
+func parseFlowList(s string, num int) (Value, error) {
+	inner, err := stripDelims(s, '[', ']', num)
+	if err != nil {
+		return nil, err
+	}
+	var items []Value
+	for _, part := range splitTop(inner) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := parseInline(part, num)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, v)
+	}
+	return items, nil
+}
+
+func stripDelims(s string, open, close rune, num int) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || rune(s[0]) != open || rune(s[len(s)-1]) != close {
+		return "", fmt.Errorf("spec: line %d: malformed flow collection %q", num, s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+// splitTop splits on commas at the top nesting level.
+func splitTop(s string) []string {
+	var parts []string
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '{', '[':
+			if !inSingle && !inDouble {
+				depth++
+			}
+		case '}', ']':
+			if !inSingle && !inDouble {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inSingle && !inDouble {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

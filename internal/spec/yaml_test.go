@@ -1,0 +1,157 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScalars(t *testing.T) {
+	doc, err := ParseDocument("a: hello\nb: true\nc: false\nd: 'quoted: text'\ne: \"double\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		key  string
+		want Value
+	}{
+		{"a", "hello"},
+		{"b", true},
+		{"c", false},
+		{"d", "quoted: text"},
+		{"e", "double"},
+	}
+	for _, tt := range tests {
+		got, ok := doc.Get(tt.key)
+		if !ok || got != tt.want {
+			t.Errorf("Get(%q) = %v (%v), want %v", tt.key, got, ok, tt.want)
+		}
+	}
+}
+
+func TestParseNestedMap(t *testing.T) {
+	doc, err := ParseDocument("outer:\n  inner: v\n  deep:\n    x: y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, _ := doc.Get("outer")
+	m, ok := outer.(*Map)
+	if !ok {
+		t.Fatalf("outer is %T", outer)
+	}
+	if v, _ := m.Get("inner"); v != "v" {
+		t.Errorf("inner = %v", v)
+	}
+	deep, _ := m.Get("deep")
+	dm, ok := deep.(*Map)
+	if !ok || dm.Len() != 1 {
+		t.Fatalf("deep = %v", deep)
+	}
+}
+
+func TestParseListIndentedAndSameLevel(t *testing.T) {
+	// Both YAML styles used in the paper: dash indented under the key, and
+	// dash at the key's own indentation.
+	for _, src := range []string{
+		"k:\n  - a\n  - b",
+		"outer:\n  k:\n  - a\n  - b",
+	} {
+		doc, err := ParseDocument(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		var listVal Value
+		if v, ok := doc.Get("k"); ok {
+			listVal = v
+		} else {
+			outer, _ := doc.Get("outer")
+			listVal, _ = outer.(*Map).Get("k")
+		}
+		list, ok := listVal.([]Value)
+		if !ok || len(list) != 2 || list[0] != "a" || list[1] != "b" {
+			t.Errorf("%q: list = %v", src, listVal)
+		}
+	}
+}
+
+func TestParseFlowMapAndList(t *testing.T) {
+	doc, err := ParseDocument("x: { from: a, to: b, subscript: [w, z] }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := doc.Get("x")
+	m, ok := x.(*Map)
+	if !ok {
+		t.Fatalf("x is %T", x)
+	}
+	if v, _ := m.Get("from"); v != "a" {
+		t.Errorf("from = %v", v)
+	}
+	sub, _ := m.Get("subscript")
+	list, ok := sub.([]Value)
+	if !ok || len(list) != 2 || list[0] != "w" || list[1] != "z" {
+		t.Errorf("subscript = %v", sub)
+	}
+}
+
+func TestParseContinuationLines(t *testing.T) {
+	src := "x: { from: a,\n     to: b }"
+	doc, err := ParseDocument(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := doc.Get("x")
+	m, ok := x.(*Map)
+	if !ok {
+		t.Fatalf("x is %T", x)
+	}
+	if v, _ := m.Get("to"); v != "b" {
+		t.Errorf("to = %v", v)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	doc, err := ParseDocument("# heading\na: 1 # trailing\nb: 'not # a comment'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Get("a"); v != "1" {
+		t.Errorf("a = %v", v)
+	}
+	if v, _ := doc.Get("b"); v != "not # a comment" {
+		t.Errorf("b = %v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"tab indent", "a:\n\tb: c", "tabs"},
+		{"bare scalar", "just a scalar", "key: value"},
+		{"duplicate key", "a: 1\na: 2", "duplicate"},
+		{"bad flow", "x: { unclosed", "malformed"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseDocument(tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	doc, err := ParseDocument("z: 1\na: 2\nm: 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := doc.Keys()
+	want := []string{"z", "a", "m"}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Errorf("keys = %v, want %v", keys, want)
+			break
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package storm
+
+import "hash/fnv"
+
+// Emitter receives tuples produced by a bolt or spout.
+type Emitter func(Tuple)
+
+// Bolt is a stream operator. Execute processes one input tuple and may emit
+// any number of output tuples; FinishBatch is called exactly once per batch
+// after every input tuple of that batch has been executed, and may emit the
+// batch's aggregated outputs (the pattern used by Count).
+//
+// Bolts are deterministic: identical inputs in identical order produce
+// identical outputs (Section II). Order-sensitivity enters through the
+// network, not the operator.
+type Bolt interface {
+	Execute(t Tuple, emit Emitter)
+	FinishBatch(batch int64, emit Emitter)
+}
+
+// Spout produces the input stream in numbered batches. Each spout instance
+// is asked for its share of every batch; ok=false marks the end of the
+// stream for that instance.
+type Spout interface {
+	NextBatch(instance int, batch int64) (tuples []Values, ok bool)
+}
+
+// Grouping routes a tuple emitted by a producer to one or more consumer
+// instances.
+type Grouping interface {
+	// Route returns the consumer instance indexes (out of n) that must
+	// receive the tuple. rand is a deterministic PRNG draw in [0, 1<<63).
+	Route(t Tuple, n int, rand int64) []int
+}
+
+// ShuffleGrouping sends each tuple to a uniformly random consumer instance —
+// Storm's "random partitioning" used between tweets and Splitters.
+type ShuffleGrouping struct{}
+
+// Route implements Grouping.
+func (ShuffleGrouping) Route(_ Tuple, n int, rand int64) []int {
+	return []int{int(rand % int64(n))}
+}
+
+// FieldsGrouping hash-partitions on selected fields — used between Splitter
+// and Count so each word lands on a single counter.
+type FieldsGrouping struct {
+	// Fields are indexes into the tuple's Values.
+	Fields []int
+}
+
+// Route implements Grouping.
+func (g FieldsGrouping) Route(t Tuple, n int, _ int64) []int {
+	h := fnv.New64a()
+	for _, f := range g.Fields {
+		if f < len(t.Values) {
+			h.Write([]byte(t.Values[f]))
+			h.Write([]byte{0})
+		}
+	}
+	return []int{int(mix64(h.Sum64()) % uint64(n))}
+}
+
+// mix64 is the splitmix64 finalizer: FNV alone has poor low-bit avalanche
+// on short keys, which skews modulo partitioning badly enough to unbalance
+// whole stages.
+func mix64(s uint64) uint64 {
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e9b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	return s
+}
+
+// AllGrouping broadcasts every tuple to every consumer instance.
+type AllGrouping struct{}
+
+// Route implements Grouping.
+func (AllGrouping) Route(_ Tuple, n int, _ int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// GlobalGrouping routes every tuple to instance 0.
+type GlobalGrouping struct{}
+
+// Route implements Grouping.
+func (GlobalGrouping) Route(Tuple, int, int64) []int { return []int{0} }

@@ -1,0 +1,322 @@
+package storm
+
+import (
+	"blazes/internal/sim"
+)
+
+// debugStragglers enables straggler diagnostics during development.
+var debugStragglers = false
+
+func fmtIntMap(m map[int]int) string {
+	s := "{"
+	for k, v := range m {
+		s += " "
+		s += itoa(k) + ":" + itoa(v)
+	}
+	return s + " }"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// Committer is implemented by bolts whose FinishBatch output must be applied
+// durably at commit time (e.g. a backing-store writer). The engine calls
+// Commit under the topology's commit discipline: immediately after the batch
+// seals (CommitSealed) or in global batch order (CommitTransactional).
+type Committer interface {
+	Commit(batch int64)
+}
+
+// instance is one physical task of a bolt stage: a serial executor fed by
+// reordering network links.
+type instance struct {
+	st   *stage
+	idx  int
+	bolt Bolt
+
+	busyUntil sim.Time
+	seen      map[string]bool
+	batches   map[int64]*batchState
+}
+
+type batchState struct {
+	recvFrom map[int]int  // upstream instance → deduped data tuples received
+	expected map[int]int  // upstream instance → announced count
+	endFrom  map[int]bool // upstream instance → punctuation arrived
+	finished bool
+	// finishDone is set once the scheduled finish event has actually run
+	// (FinishBatch executed, punctuations sent). Resends must wait for it:
+	// between finished and finishDone the outbox and counts are still
+	// incomplete.
+	finishDone bool
+	// flushScheduled marks the timer-based (unpunctuated) completion path.
+	flushScheduled bool
+	// outbox stores routed emissions for replay resend.
+	outbox []outMsg
+	// counts tracks per-downstream-stage, per-target emitted counts.
+	counts map[string][]int
+	// lastAttempt is the highest replay attempt this instance forwarded.
+	lastAttempt int
+	emitSeq     int
+	readySent   bool
+	committed   bool
+}
+
+type outMsg struct {
+	stage  *stage
+	target int
+	m      message
+}
+
+func newInstance(st *stage, idx int) *instance {
+	return &instance{
+		st:      st,
+		idx:     idx,
+		bolt:    st.factory(idx),
+		seen:    map[string]bool{},
+		batches: map[int64]*batchState{},
+	}
+}
+
+func (in *instance) batch(b int64) *batchState {
+	bs, ok := in.batches[b]
+	if !ok {
+		bs = &batchState{
+			recvFrom: map[int]int{},
+			expected: map[int]int{},
+			endFrom:  map[int]bool{},
+			counts:   map[string][]int{},
+		}
+		in.batches[b] = bs
+	}
+	return bs
+}
+
+// receive handles one network message.
+func (in *instance) receive(m message) {
+	t := in.st.topo
+	bs := in.batch(m.batch)
+
+	if m.batchEnd {
+		if bs.finished {
+			in.maybeResend(m.batch, bs, m.attempt)
+			return
+		}
+		bs.endFrom[m.from] = true
+		bs.expected[m.from] = m.count
+		in.tryFinish(m.batch, bs)
+		return
+	}
+
+	if in.seen[m.id] {
+		if bs.finished {
+			in.maybeResend(m.batch, bs, m.attempt)
+		}
+		return
+	}
+	if bs.finished {
+		// A tuple for a batch this instance already (timer-)flushed:
+		// data loss under the anomalous configuration.
+		t.metrics.Stragglers++
+		if debugStragglers {
+			println("straggler:", in.st.name, in.idx, "batch", int(m.batch), "id", m.id, "attempt", m.attempt)
+		}
+		return
+	}
+	in.seen[m.id] = true
+	bs.recvFrom[m.from]++
+
+	execAt := in.busyUntil
+	if now := t.sim.Now(); execAt < now {
+		execAt = now
+	}
+	execAt += t.cfg.PerTupleCost
+	in.busyUntil = execAt
+	tuple := m.tuple
+	batch := m.batch
+	t.sim.At(execAt, func() {
+		in.bolt.Execute(tuple, func(out Tuple) {
+			out.Batch = batch
+			in.emit(batch, bs, out)
+		})
+		in.tryFinish(batch, bs)
+	})
+
+	if !t.cfg.Punctuate && !bs.flushScheduled {
+		bs.flushScheduled = true
+		t.sim.After(t.cfg.FlushTimeout, func() { in.flush(batch, bs) })
+	}
+}
+
+// emit routes one produced tuple to every downstream stage.
+func (in *instance) emit(b int64, bs *batchState, out Tuple) {
+	t := in.st.topo
+	for _, down := range in.st.downstream {
+		targets := down.grouping.Route(out, down.n, t.sim.Rand().Int63())
+		id := tupleID(in.st.name, in.idx, b, bs.emitSeq)
+		bs.emitSeq++
+		if bs.counts[down.name] == nil {
+			bs.counts[down.name] = make([]int, down.n)
+		}
+		for _, target := range targets {
+			bs.counts[down.name][target]++
+			m := message{id: id, from: in.idx, tuple: out, batch: b, attempt: bs.lastAttempt}
+			bs.outbox = append(bs.outbox, outMsg{stage: down, target: target, m: m})
+			t.deliver(down, target, m, t.sim.Now())
+		}
+	}
+}
+
+// tryFinish completes the batch when every upstream instance has punctuated
+// and all announced tuples have been executed.
+func (in *instance) tryFinish(b int64, bs *batchState) {
+	t := in.st.topo
+	if bs.finished || !t.cfg.Punctuate {
+		return
+	}
+	for i := 0; i < in.st.upstreamN; i++ {
+		if !bs.endFrom[i] {
+			return
+		}
+		if bs.recvFrom[i] != bs.expected[i] {
+			return
+		}
+	}
+	in.finish(b, bs)
+}
+
+// flush is the timer-based completion used when punctuations are disabled:
+// whatever has arrived is treated as the batch.
+func (in *instance) flush(b int64, bs *batchState) {
+	if !bs.finished {
+		in.finish(b, bs)
+	}
+}
+
+// finish runs FinishBatch, propagates punctuations downstream, and enters
+// the commit path on committer stages.
+func (in *instance) finish(b int64, bs *batchState) {
+	t := in.st.topo
+	if debugStragglers {
+		println("finish:", in.st.name, in.idx, "batch", int(b),
+			"recv", fmtIntMap(bs.recvFrom), "expected", fmtIntMap(bs.expected))
+	}
+	bs.finished = true
+	at := in.busyUntil
+	if now := t.sim.Now(); at < now {
+		at = now
+	}
+	at += t.cfg.FinishBatchCost
+	in.busyUntil = at
+	t.sim.At(at, func() {
+		defer func() { bs.finishDone = true }()
+		in.bolt.FinishBatch(b, func(out Tuple) {
+			out.Batch = b
+			in.emit(b, bs, out)
+		})
+		if t.cfg.Punctuate {
+			for _, down := range in.st.downstream {
+				counts := bs.counts[down.name]
+				if counts == nil {
+					counts = make([]int, down.n)
+				}
+				for target := 0; target < down.n; target++ {
+					m := message{
+						id: tupleID(in.st.name, in.idx, b, -1), from: in.idx,
+						batchEnd: true, batch: b, count: counts[target], attempt: bs.lastAttempt,
+					}
+					t.deliver(down, target, m, t.sim.Now())
+				}
+			}
+		}
+		if in.st.committer {
+			in.enterCommit(b, bs)
+		}
+	})
+}
+
+// enterCommit applies the batch under the commit discipline.
+func (in *instance) enterCommit(b int64, bs *batchState) {
+	t := in.st.topo
+	switch t.mode {
+	case CommitSealed:
+		// Independent commit: apply locally, then ack the spout.
+		t.sim.After(t.cfg.CommitCost, func() { in.applyCommit(b, bs) })
+	case CommitTransactional:
+		if !bs.readySent {
+			bs.readySent = true
+			t.txc.submitReady(readyMsg{batch: b, instance: in.idx})
+		}
+	}
+}
+
+// applyCommit durably applies the batch and acknowledges the spout.
+func (in *instance) applyCommit(b int64, bs *batchState) {
+	t := in.st.topo
+	if bs.committed {
+		return
+	}
+	bs.committed = true
+	if c, ok := in.bolt.(Committer); ok {
+		c.Commit(b)
+	}
+	// Ack travels back to the spout controller over the network.
+	delay := t.cfg.Link.MinDelay
+	if span := t.cfg.Link.MaxDelay - t.cfg.Link.MinDelay; span > 0 {
+		delay += sim.Time(t.sim.Rand().Int63n(int64(span) + 1))
+	}
+	idx := in.idx
+	t.sim.After(delay, func() { t.commitDone(b, idx) })
+}
+
+// maybeResend re-sends this instance's stored output for a finished batch
+// when a replayed message with a newer attempt arrives (recovering
+// downstream losses without re-execution — bolts are deterministic).
+func (in *instance) maybeResend(b int64, bs *batchState, attempt int) {
+	t := in.st.topo
+	if !bs.finishDone || attempt <= bs.lastAttempt {
+		return
+	}
+	bs.lastAttempt = attempt
+	for _, om := range bs.outbox {
+		m := om.m
+		m.attempt = attempt
+		t.deliver(om.stage, om.target, m, t.sim.Now())
+	}
+	if t.cfg.Punctuate {
+		for _, down := range in.st.downstream {
+			counts := bs.counts[down.name]
+			if counts == nil {
+				counts = make([]int, down.n)
+			}
+			for target := 0; target < down.n; target++ {
+				m := message{
+					id: tupleID(in.st.name, in.idx, b, -1), from: in.idx,
+					batchEnd: true, batch: b, count: counts[target], attempt: attempt,
+				}
+				t.deliver(down, target, m, t.sim.Now())
+			}
+		}
+	}
+	if in.st.committer && bs.committed {
+		// Re-ack: the spout may have missed the original acknowledgement.
+		idx := in.idx
+		t.sim.After(t.cfg.Link.MinDelay, func() { t.commitDone(b, idx) })
+	}
+}

@@ -1,0 +1,484 @@
+package storm
+
+import (
+	"fmt"
+
+	"blazes/internal/coord"
+	"blazes/internal/sim"
+)
+
+// CommitMode selects how committer bolts apply batches.
+type CommitMode int
+
+const (
+	// CommitSealed commits each batch independently the moment its
+	// punctuations arrive — out of order across batches, with no global
+	// coordination. Blazes proves this safe when batches are independent
+	// (the wordcount's OW_{word,batch} is compatible with Seal_batch).
+	CommitSealed CommitMode = iota
+	// CommitTransactional is Storm's "transactional topology": batches
+	// commit in a single global order decided through the ordering
+	// service, batch n+1 only after batch n.
+	CommitTransactional
+)
+
+// String names the mode.
+func (m CommitMode) String() string {
+	if m == CommitTransactional {
+		return "transactional"
+	}
+	return "sealed"
+}
+
+// Config shapes the simulated physical deployment.
+type Config struct {
+	// Link is the inter-instance network behaviour.
+	Link sim.LinkConfig
+	// PerTupleCost is each instance's serial execution cost per tuple.
+	PerTupleCost sim.Time
+	// FinishBatchCost is the cost of a bolt's per-batch finalization.
+	FinishBatchCost sim.Time
+	// CommitCost is the local cost of applying one batch at a committer.
+	CommitCost sim.Time
+	// EmitInterval paces spout emission (per tuple per spout instance).
+	EmitInterval sim.Time
+	// MaxInFlight bounds the number of uncommitted batches in the
+	// pipeline.
+	MaxInFlight int
+	// BatchInterval, when positive, switches the spout to paced emission:
+	// batch k is emitted at k×BatchInterval regardless of acks (an
+	// offered-load, steady-state model — the regime the paper's
+	// throughput measurements are taken in). Zero keeps ack-driven
+	// emission bounded by MaxInFlight.
+	BatchInterval sim.Time
+	// ReplayTimeout re-emits a batch that has not fully committed in time
+	// (at-least-once delivery). Zero disables replay.
+	ReplayTimeout sim.Time
+	// Punctuate controls whether batch-end punctuations flow through the
+	// topology. When false, bolts flush batches on a timer instead —
+	// the nondeterministic "early emission" the paper warns about.
+	Punctuate bool
+	// FlushTimeout is the timer used when Punctuate is false: a batch is
+	// (prematurely, possibly incompletely) finished this long after its
+	// first tuple reaches an instance.
+	FlushTimeout sim.Time
+	// Sequencer configures the ordering service for transactional mode.
+	Sequencer coord.SequencerConfig
+}
+
+// DefaultConfig is a reasonable LAN deployment.
+func DefaultConfig() Config {
+	return Config{
+		Link:            sim.DefaultLAN,
+		PerTupleCost:    20 * sim.Microsecond,
+		FinishBatchCost: 200 * sim.Microsecond,
+		CommitCost:      500 * sim.Microsecond,
+		EmitInterval:    10 * sim.Microsecond,
+		MaxInFlight:     4,
+		Punctuate:       true,
+		FlushTimeout:    50 * sim.Millisecond,
+		Sequencer:       coord.DefaultSequencer,
+	}
+}
+
+// Metrics aggregates a run's outcomes.
+type Metrics struct {
+	// EmittedTuples counts first-attempt spout emissions.
+	EmittedTuples int
+	// ReplayedTuples counts re-emissions.
+	ReplayedTuples int
+	// CommittedBatches counts batch commits (per committer instance).
+	CommittedBatches int
+	// AckedBatches counts fully committed batches.
+	AckedBatches int
+	// Stragglers counts tuples that arrived after their batch was
+	// timer-flushed (lost data under the anomalous configuration).
+	Stragglers int
+	// Replays counts batch replay rounds.
+	Replays int
+	// FinishedAt is the virtual time of the final batch ack.
+	FinishedAt sim.Time
+	// CommitSeries records (time, cumulative acked batches) pairs.
+	CommitSeries []CommitPoint
+}
+
+// CommitPoint is one sample of commit progress.
+type CommitPoint struct {
+	At      sim.Time
+	Batches int
+}
+
+// Throughput returns first-attempt tuples per virtual second.
+func (m Metrics) Throughput() float64 {
+	if m.FinishedAt == 0 {
+		return 0
+	}
+	return float64(m.EmittedTuples) / m.FinishedAt.Seconds()
+}
+
+// Topology is a wired dataflow of one spout stage and bolt stages.
+type Topology struct {
+	sim  *sim.Sim
+	cfg  Config
+	mode CommitMode
+
+	spoutName string
+	spout     Spout
+	spoutN    int
+
+	stages  []*stage
+	byName  map[string]*stage
+	seq     *coord.Sequencer
+	txc     *txCoordinator
+	metrics Metrics
+
+	// Spout-side batch control.
+	nextBatch    int64
+	exhausted    bool
+	totalBatches int64
+	inflight     map[int64]*batchControl
+	spoutOutbox  map[int64]*spoutBatch
+}
+
+// spoutBatch is a batch routed once at first emission and stored verbatim so
+// replays deliver byte-identical messages to the same targets (Storm's
+// transactional spouts regenerate identical batches; re-routing a shuffle
+// grouping on replay would defeat downstream deduplication).
+type spoutBatch struct {
+	sends []spoutSend
+	// ends carries the per-(stage,instance) punctuation counts.
+	ends []spoutEnd
+}
+
+type spoutSend struct {
+	stage  *stage
+	target int
+	m      message
+	// offset is the pacing offset from the start of (re)emission.
+	offset sim.Time
+}
+
+type spoutEnd struct {
+	stage  *stage
+	target int
+	from   int
+	count  int
+	offset sim.Time
+}
+
+type batchControl struct {
+	acked   bool
+	attempt int
+	commits map[int]bool // committer instance → committed
+}
+
+// stage is one bolt layer.
+type stage struct {
+	topo       *Topology
+	name       string
+	n          int
+	factory    func(instance int) Bolt
+	grouping   Grouping
+	upstream   string // stage or spout name
+	committer  bool
+	instances  []*instance
+	downstream []*stage
+	upstreamN  int
+}
+
+// NewTopology creates an empty topology over the simulator.
+func NewTopology(s *sim.Sim, cfg Config, mode CommitMode) *Topology {
+	t := &Topology{
+		sim:          s,
+		cfg:          cfg,
+		mode:         mode,
+		byName:       map[string]*stage{},
+		inflight:     map[int64]*batchControl{},
+		spoutOutbox:  map[int64]*spoutBatch{},
+		totalBatches: -1,
+	}
+	if mode == CommitTransactional {
+		t.seq = coord.NewSequencer(s, cfg.Sequencer)
+		t.txc = newTxCoordinator(t)
+	}
+	return t
+}
+
+// SetSpout installs the spout stage.
+func (t *Topology) SetSpout(name string, s Spout, parallelism int) {
+	t.spoutName, t.spout, t.spoutN = name, s, parallelism
+}
+
+// AddBolt appends a bolt stage reading from upstream with the given
+// grouping.
+func (t *Topology) AddBolt(name string, factory func(instance int) Bolt, parallelism int, g Grouping, upstream string) {
+	t.addStage(name, factory, parallelism, g, upstream, false)
+}
+
+// AddCommitter appends a committing bolt stage: its FinishBatch is the
+// commit point governed by the topology's CommitMode.
+func (t *Topology) AddCommitter(name string, factory func(instance int) Bolt, parallelism int, g Grouping, upstream string) {
+	t.addStage(name, factory, parallelism, g, upstream, true)
+}
+
+func (t *Topology) addStage(name string, factory func(int) Bolt, n int, g Grouping, upstream string, committer bool) {
+	st := &stage{
+		topo: t, name: name, n: n, factory: factory,
+		grouping: g, upstream: upstream, committer: committer,
+	}
+	t.stages = append(t.stages, st)
+	t.byName[name] = st
+}
+
+// Metrics returns the run's metrics (valid once the simulator has drained).
+func (t *Topology) Metrics() Metrics { return t.metrics }
+
+// Sequencer exposes the ordering service (transactional mode; nil
+// otherwise).
+func (t *Topology) Sequencer() *coord.Sequencer { return t.seq }
+
+// Start wires the physical topology and begins emitting batches. Run the
+// simulator to completion (or a deadline) afterwards.
+func (t *Topology) Start() error {
+	if t.spout == nil {
+		return fmt.Errorf("storm: topology has no spout")
+	}
+	if len(t.stages) == 0 {
+		return fmt.Errorf("storm: topology has no bolts")
+	}
+	for _, st := range t.stages {
+		if st.upstream == t.spoutName {
+			st.upstreamN = t.spoutN
+			continue
+		}
+		up, ok := t.byName[st.upstream]
+		if !ok {
+			return fmt.Errorf("storm: stage %q reads from unknown stage %q", st.name, st.upstream)
+		}
+		up.downstream = append(up.downstream, st)
+		st.upstreamN = up.n
+	}
+	// Instantiate instances.
+	for _, st := range t.stages {
+		st.instances = make([]*instance, st.n)
+		for i := 0; i < st.n; i++ {
+			st.instances[i] = newInstance(st, i)
+		}
+	}
+	if t.cfg.BatchInterval > 0 {
+		t.schedulePaced(0)
+	} else {
+		t.maybeEmit()
+	}
+	return nil
+}
+
+// schedulePaced emits batch b at b×BatchInterval and chains the next.
+func (t *Topology) schedulePaced(b int64) {
+	t.sim.At(sim.Time(b)*t.cfg.BatchInterval, func() {
+		t.emitBatch(b)
+		if t.exhausted {
+			return
+		}
+		t.nextBatch = b + 1
+		t.schedulePaced(b + 1)
+	})
+}
+
+// spoutDownstream returns the stages reading directly from the spout.
+func (t *Topology) spoutDownstream() []*stage {
+	var out []*stage
+	for _, st := range t.stages {
+		if st.upstream == t.spoutName {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// maybeEmit keeps MaxInFlight batches in the pipeline.
+func (t *Topology) maybeEmit() {
+	for !t.exhausted && t.unackedCount() < t.cfg.MaxInFlight {
+		t.emitBatch(t.nextBatch)
+		if t.exhausted {
+			break
+		}
+		t.nextBatch++
+	}
+	t.checkAllDone()
+}
+
+func (t *Topology) unackedCount() int {
+	n := 0
+	for _, bc := range t.inflight {
+		if !bc.acked {
+			n++
+		}
+	}
+	return n
+}
+
+// emitBatch pulls batch b from every spout instance, routes it exactly once,
+// stores the routed batch for replay, and streams it into the first stages.
+func (t *Topology) emitBatch(b int64) {
+	perInstance := make([][]Values, t.spoutN)
+	any := false
+	for i := 0; i < t.spoutN; i++ {
+		tuples, ok := t.spout.NextBatch(i, b)
+		if ok {
+			any = true
+			perInstance[i] = tuples
+		}
+	}
+	if !any {
+		t.exhausted = true
+		t.totalBatches = b
+		return
+	}
+	t.inflight[b] = &batchControl{commits: map[int]bool{}}
+
+	sb := &spoutBatch{}
+	for _, st := range t.spoutDownstream() {
+		for i, tuples := range perInstance {
+			counts := make([]int, st.n)
+			var offset sim.Time
+			for seq, vals := range tuples {
+				tp := Tuple{Batch: b, Values: vals}
+				targets := st.grouping.Route(tp, st.n, t.sim.Rand().Int63())
+				id := tupleID(t.spoutName, i, b, seq)
+				offset += t.cfg.EmitInterval
+				for _, target := range targets {
+					counts[target]++
+					sb.sends = append(sb.sends, spoutSend{
+						stage: st, target: target, offset: offset,
+						m: message{id: id, from: i, tuple: tp, batch: b},
+					})
+				}
+			}
+			if t.cfg.Punctuate {
+				for target := 0; target < st.n; target++ {
+					sb.ends = append(sb.ends, spoutEnd{
+						stage: st, target: target, from: i, count: counts[target], offset: offset,
+					})
+				}
+			}
+		}
+	}
+	t.spoutOutbox[b] = sb
+	for i := range perInstance {
+		t.metrics.EmittedTuples += len(perInstance[i])
+	}
+	t.sendBatch(b, 1)
+	if t.cfg.ReplayTimeout > 0 {
+		t.scheduleReplayCheck(b)
+	}
+}
+
+// sendBatch streams the stored routed batch (attempt n) into the first
+// stages, pacing tuples and closing with punctuations.
+func (t *Topology) sendBatch(b int64, attempt int) {
+	sb := t.spoutOutbox[b]
+	if sb == nil {
+		return
+	}
+	start := t.sim.Now()
+	for _, snd := range sb.sends {
+		m := snd.m
+		m.attempt = attempt
+		t.deliver(snd.stage, snd.target, m, start+snd.offset)
+	}
+	for _, end := range sb.ends {
+		t.deliver(end.stage, end.target, message{
+			id: tupleID(t.spoutName, end.from, b, -1), from: end.from,
+			batchEnd: true, batch: b, count: end.count, attempt: attempt,
+		}, start+end.offset)
+	}
+}
+
+// deliver schedules a message onto an instance after a network delay drawn
+// from the link configuration (independently per message, which is what
+// reorders them).
+func (t *Topology) deliver(st *stage, idx int, m message, notBefore sim.Time) {
+	delay := t.cfg.Link.MinDelay
+	if span := t.cfg.Link.MaxDelay - t.cfg.Link.MinDelay; span > 0 {
+		delay += sim.Time(t.sim.Rand().Int63n(int64(span) + 1))
+	}
+	if t.cfg.Link.DropProb > 0 && t.sim.Rand().Float64() < t.cfg.Link.DropProb {
+		return
+	}
+	at := notBefore + delay
+	if now := t.sim.Now(); at < now {
+		at = now
+	}
+	t.sim.At(at, func() { st.instances[idx].receive(m) })
+	if t.cfg.Link.DupProb > 0 && t.sim.Rand().Float64() < t.cfg.Link.DupProb {
+		t.sim.At(at+delay, func() { st.instances[idx].receive(m) })
+	}
+}
+
+// scheduleReplayCheck re-emits the batch if it has not been acked in time.
+func (t *Topology) scheduleReplayCheck(b int64) {
+	t.sim.After(t.cfg.ReplayTimeout, func() {
+		bc := t.inflight[b]
+		if bc == nil || bc.acked {
+			return
+		}
+		bc.attempt++
+		t.metrics.Replays++
+		if sb := t.spoutOutbox[b]; sb != nil {
+			t.metrics.ReplayedTuples += len(sb.sends)
+		}
+		t.sendBatch(b, bc.attempt+1)
+		t.scheduleReplayCheck(b)
+	})
+}
+
+// commitDone is called when one committer instance has durably applied a
+// batch.
+func (t *Topology) commitDone(b int64, committerIdx int) {
+	t.metrics.CommittedBatches++
+	bc := t.inflight[b]
+	if bc == nil || bc.acked {
+		return
+	}
+	bc.commits[committerIdx] = true
+	committers := t.committerStage()
+	if committers == nil || len(bc.commits) < committers.n {
+		return
+	}
+	bc.acked = true
+	t.metrics.AckedBatches++
+	t.metrics.FinishedAt = t.sim.Now()
+	t.metrics.CommitSeries = append(t.metrics.CommitSeries, CommitPoint{At: t.sim.Now(), Batches: t.metrics.AckedBatches})
+	delete(t.spoutOutbox, b)
+	if t.cfg.BatchInterval == 0 {
+		t.maybeEmit()
+	}
+}
+
+func (t *Topology) committerStage() *stage {
+	for _, st := range t.stages {
+		if st.committer {
+			return st
+		}
+	}
+	return nil
+}
+
+func (t *Topology) checkAllDone() {
+	// Nothing to do: the simulator drains naturally. Kept as a hook for
+	// future completion callbacks.
+}
+
+// Done reports whether every emitted batch has fully committed.
+func (t *Topology) Done() bool {
+	if !t.exhausted {
+		return false
+	}
+	for _, bc := range t.inflight {
+		if !bc.acked {
+			return false
+		}
+	}
+	return true
+}

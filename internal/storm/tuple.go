@@ -1,0 +1,47 @@
+// Package storm is a Storm-like distributed stream-processing engine built
+// on the discrete-event simulator: topologies of spouts and bolts with
+// shuffle/fields/all groupings, batch-granular at-least-once delivery with
+// replay, and two commit disciplines — *transactional* (batches commit in a
+// global total order through the ordering service, Storm's "transactional
+// topologies") and *sealed* (batches commit independently as soon as their
+// per-batch punctuations arrive, the strategy Blazes proves safe for the
+// wordcount of Section VI-A). It is the substrate for the Figure 11
+// experiment.
+package storm
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Values is a tuple payload: a fixed-arity list of fields.
+type Values []string
+
+// Tuple is one message flowing through a topology. Every tuple belongs to a
+// batch — the unit of replay and of sealing.
+type Tuple struct {
+	Batch  int64
+	Values Values
+}
+
+// String renders the tuple compactly.
+func (t Tuple) String() string {
+	return fmt.Sprintf("b%d%v", t.Batch, []string(t.Values))
+}
+
+// message is the wire format between instances: either a data tuple or a
+// batch-end punctuation carrying the producer's per-batch emission count.
+type message struct {
+	id       string // unique per logical tuple; stable across replays
+	from     int    // producer instance index within its stage
+	tuple    Tuple
+	batchEnd bool
+	batch    int64
+	count    int // tuples the producer emitted to this consumer for batch
+	attempt  int // replay attempt that produced this message
+}
+
+// tupleID builds the stable dedup identifier for an emitted tuple.
+func tupleID(stage string, instance int, batch int64, seq int) string {
+	return stage + "/" + strconv.Itoa(instance) + "/" + strconv.FormatInt(batch, 10) + "/" + strconv.Itoa(seq)
+}

@@ -1,0 +1,265 @@
+package wc
+
+import (
+	"reflect"
+	"testing"
+
+	"blazes/internal/storm"
+)
+
+func TestTweetSpoutDeterministicWorkload(t *testing.T) {
+	s := &TweetSpout{Batches: 3, TuplesPerBatch: 5, WordsPerTweet: 4}
+	a, okA := s.NextBatch(1, 2)
+	b, okB := s.NextBatch(1, 2)
+	if !okA || !okB || !reflect.DeepEqual(a, b) {
+		t.Error("workload must be a pure function of (instance, batch)")
+	}
+	if _, ok := s.NextBatch(0, 3); ok {
+		t.Error("batch beyond Batches must report ok=false")
+	}
+}
+
+func TestSplitterSplitsWords(t *testing.T) {
+	var got []string
+	Splitter{}.Execute(storm.Tuple{Values: storm.Values{"calm seal storm"}}, func(out storm.Tuple) {
+		got = append(got, out.Values[0])
+	})
+	want := []string{"calm", "seal", "storm"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("words = %v, want %v", got, want)
+	}
+}
+
+func TestCountEmitsSortedPerBatchCounts(t *testing.T) {
+	c := NewCount()
+	for _, w := range []string{"b", "a", "b", "c", "a", "b"} {
+		c.Execute(storm.Tuple{Batch: 7, Values: storm.Values{w}}, nil)
+	}
+	var got [][2]string
+	c.FinishBatch(7, func(out storm.Tuple) {
+		got = append(got, [2]string{out.Values[0], out.Values[1]})
+	})
+	want := [][2]string{{"a", "2"}, {"b", "3"}, {"c", "1"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("counts = %v, want %v", got, want)
+	}
+	// State for the batch is released.
+	if len(c.perBatch) != 0 {
+		t.Error("per-batch state should be freed after FinishBatch")
+	}
+}
+
+func TestStoreIdempotentApply(t *testing.T) {
+	st := NewStore()
+	st.Apply(1, map[string]int64{"a": 2})
+	st.Apply(1, map[string]int64{"a": 2}) // replayed commit
+	st.Apply(0, map[string]int64{"b": 1})
+	snap := st.Snapshot()
+	if snap[1]["a"] != 2 || snap[0]["b"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if !reflect.DeepEqual(st.CommitOrder(), []int64{1, 0}) {
+		t.Errorf("order = %v", st.CommitOrder())
+	}
+}
+
+func TestRunSealedProducesExactCounts(t *testing.T) {
+	rc := RunConfig{Seed: 1, Workers: 4, Batches: 6, TuplesPerBatch: 20, WordsPerTweet: 4, Mode: storm.CommitSealed, Punctuate: true}
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("run did not complete")
+	}
+	spout := &TweetSpout{Batches: rc.Batches, TuplesPerBatch: rc.TuplesPerBatch, WordsPerTweet: rc.WordsPerTweet}
+	want := spout.ExpectedCounts(rc.Workers)
+	if got := res.Store.Snapshot(); !reflect.DeepEqual(got, toComparable(want)) {
+		t.Errorf("store = %v\nwant %v", got, want)
+	}
+	if res.Metrics.AckedBatches != int(rc.Batches) {
+		t.Errorf("acked = %d, want %d", res.Metrics.AckedBatches, rc.Batches)
+	}
+}
+
+func toComparable(m map[int64]map[string]int64) map[int64]map[string]int64 { return m }
+
+func TestRunTransactionalCommitsInBatchOrder(t *testing.T) {
+	res, err := Run(RunConfig{Seed: 3, Workers: 4, Batches: 8, TuplesPerBatch: 10, WordsPerTweet: 3, Mode: storm.CommitTransactional, Punctuate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("run did not complete")
+	}
+	order := res.Store.CommitOrder()
+	for i, b := range order {
+		if b != int64(i) {
+			t.Fatalf("commit order = %v: transactional topologies must commit batches in order", order)
+		}
+	}
+}
+
+func TestRunSealedCommitsOutOfOrderSometimes(t *testing.T) {
+	// Sealed commits are independent; across a few seeds we should observe
+	// at least one out-of-order first-commit sequence.
+	sawOutOfOrder := false
+	for seed := int64(1); seed <= 10 && !sawOutOfOrder; seed++ {
+		res, err := Run(RunConfig{Seed: seed, Workers: 4, Batches: 8, TuplesPerBatch: 10, WordsPerTweet: 3, Mode: storm.CommitSealed, Punctuate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := res.Store.CommitOrder()
+		for i, b := range order {
+			if b != int64(i) {
+				sawOutOfOrder = true
+				break
+			}
+		}
+	}
+	if !sawOutOfOrder {
+		t.Error("sealed mode never committed out of order across 10 seeds; independence lost?")
+	}
+}
+
+// TestSealedConfluenceAcrossSeeds: the headline guarantee Blazes certifies
+// for the sealed topology — identical final store contents for every
+// network schedule.
+func TestSealedConfluenceAcrossSeeds(t *testing.T) {
+	var base map[int64]map[string]int64
+	for seed := int64(1); seed <= 6; seed++ {
+		res, err := Run(RunConfig{Seed: seed, Workers: 4, Batches: 5, TuplesPerBatch: 15, WordsPerTweet: 4, Mode: storm.CommitSealed, Punctuate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("seed %d did not complete", seed)
+		}
+		snap := res.Store.Snapshot()
+		if base == nil {
+			base = snap
+			continue
+		}
+		if !reflect.DeepEqual(base, snap) {
+			t.Fatalf("seed %d produced different store contents: cross-run nondeterminism in sealed mode", seed)
+		}
+	}
+}
+
+// TestTransactionalDeterministicAcrossSeeds: ordering also removes
+// cross-run nondeterminism (M1 sequencing).
+func TestTransactionalDeterministicAcrossSeeds(t *testing.T) {
+	var base map[int64]map[string]int64
+	for seed := int64(1); seed <= 4; seed++ {
+		res, err := Run(RunConfig{Seed: seed, Workers: 3, Batches: 4, TuplesPerBatch: 12, WordsPerTweet: 4, Mode: storm.CommitTransactional, Punctuate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := res.Store.Snapshot()
+		if base == nil {
+			base = snap
+			continue
+		}
+		if !reflect.DeepEqual(base, snap) {
+			t.Fatalf("seed %d diverged under transactional commits", seed)
+		}
+	}
+}
+
+// TestUnpunctuatedTimerFlushExhibitsRunAnomaly: without punctuations, batch
+// contents are guessed by timers, so different network schedules commit
+// different contents — the cross-run nondeterminism (Run) the analysis
+// derives for the unsealed, uncoordinated wordcount.
+func TestUnpunctuatedTimerFlushExhibitsRunAnomaly(t *testing.T) {
+	engine := storm.DefaultConfig()
+	engine.FlushTimeout = 3 * 1000 // 3ms: tight enough that stragglers occur
+	snapshots := make([]map[int64]map[string]int64, 0, 8)
+	for seed := int64(1); seed <= 8; seed++ {
+		res, err := Run(RunConfig{Seed: seed, Workers: 4, Batches: 5, TuplesPerBatch: 30, WordsPerTweet: 4, Mode: storm.CommitSealed, Punctuate: false, Engine: &engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshots = append(snapshots, res.Store.Snapshot())
+	}
+	allSame := true
+	for _, s := range snapshots[1:] {
+		if !reflect.DeepEqual(snapshots[0], s) {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Error("timer-flushed runs were identical across 8 seeds; expected cross-run nondeterminism")
+	}
+}
+
+// TestReplayRecoversFromLoss: with lossy links and replay enabled, the
+// sealed topology still converges to exactly-correct counts (dedup +
+// idempotent keyed commits turn at-least-once into effectively-once).
+func TestReplayRecoversFromLoss(t *testing.T) {
+	engine := storm.DefaultConfig()
+	engine.Link.DropProb = 0.05
+	engine.ReplayTimeout = 200 * 1000 // 200ms
+	rc := RunConfig{Seed: 5, Workers: 3, Batches: 4, TuplesPerBatch: 15, WordsPerTweet: 3, Mode: storm.CommitSealed, Punctuate: true, Engine: &engine}
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("lossy run did not complete — replay failed to recover")
+	}
+	spout := &TweetSpout{Batches: rc.Batches, TuplesPerBatch: rc.TuplesPerBatch, WordsPerTweet: rc.WordsPerTweet}
+	if !reflect.DeepEqual(res.Store.Snapshot(), spout.ExpectedCounts(rc.Workers)) {
+		t.Error("counts diverged despite replay + idempotent commits")
+	}
+}
+
+// TestDuplicateDeliveryIsDeduplicated: at-least-once duplication does not
+// double-count.
+func TestDuplicateDeliveryIsDeduplicated(t *testing.T) {
+	engine := storm.DefaultConfig()
+	engine.Link.DupProb = 0.3
+	rc := RunConfig{Seed: 6, Workers: 3, Batches: 4, TuplesPerBatch: 15, WordsPerTweet: 3, Mode: storm.CommitSealed, Punctuate: true, Engine: &engine}
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("run did not complete")
+	}
+	spout := &TweetSpout{Batches: rc.Batches, TuplesPerBatch: rc.TuplesPerBatch, WordsPerTweet: rc.WordsPerTweet}
+	if !reflect.DeepEqual(res.Store.Snapshot(), spout.ExpectedCounts(rc.Workers)) {
+		t.Error("duplicated delivery changed the counts")
+	}
+}
+
+// TestSealedFasterThanTransactional: the headline Figure 11 relationship on
+// a small instance — the sealed topology finishes the same workload sooner.
+func TestSealedFasterThanTransactional(t *testing.T) {
+	base := RunConfig{Seed: 9, Workers: 8, Batches: 20, TuplesPerBatch: 30, WordsPerTweet: 4, Punctuate: true}
+
+	sealed := base
+	sealed.Mode = storm.CommitSealed
+	rs, err := Run(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := base
+	tx.Mode = storm.CommitTransactional
+	rt, err := Run(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !rs.Done || !rt.Done {
+		t.Fatal("runs did not complete")
+	}
+	if rs.Metrics.FinishedAt >= rt.Metrics.FinishedAt {
+		t.Errorf("sealed (%v) should finish before transactional (%v)",
+			rs.Metrics.FinishedAt, rt.Metrics.FinishedAt)
+	}
+	if !reflect.DeepEqual(rs.Store.Snapshot(), rt.Store.Snapshot()) {
+		t.Error("both modes must produce identical outputs (they differ only in coordination)")
+	}
+}
