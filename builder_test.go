@@ -1,0 +1,128 @@
+package blazes
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildWordcount(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraphBuilder("wordcount").
+		ComponentPath("Splitter", "tweets", "words", CR).
+		ComponentPath("Count", "words", "counts", OWGate("word", "batch")).
+		ComponentPath("Commit", "counts", "db", CW).
+		Source("tweets", "Splitter", "tweets").
+		Stream("words", "Splitter", "words", "Count", "words").
+		Stream("counts", "Count", "counts", "Commit", "counts").
+		Sink("db", "Commit", "db").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphBuilderMatchesHandBuiltTopology(t *testing.T) {
+	g := buildWordcount(t)
+	want := WordcountTopology(false)
+
+	a1, err := NewAnalyzer().Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAnalyzer().Analyze(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Verdict().Equal(a2.Verdict()) {
+		t.Errorf("builder graph verdict = %s, hand-built = %s", a1.Verdict(), a2.Verdict())
+	}
+	if !a1.Verdict().Equal(Run) {
+		t.Errorf("unsealed wordcount verdict = %s, want Run", a1.Verdict())
+	}
+}
+
+func TestGraphBuilderComponentOptions(t *testing.T) {
+	b := NewGraphBuilder("rep")
+	b.Component("R").
+		Path("in", "out", OWGate("k")).
+		Replicated().
+		OutputSchema("out", "k", "v")
+	b.Source("src", "R", "in").Sink("snk", "R", "out").Seal("src", "k")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Lookup("R").Rep {
+		t.Error("Replicated() not applied")
+	}
+	if g.Stream("src").Seal.String() != "k" {
+		t.Errorf("seal = %q, want k", g.Stream("src").Seal)
+	}
+	res, err := NewAnalyzer().Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic() {
+		t.Errorf("sealed OW(k) should be deterministic, verdict %s", res.Verdict())
+	}
+}
+
+func TestGraphBuilderReplicateStream(t *testing.T) {
+	b := NewGraphBuilder("rep-stream")
+	b.ComponentPath("C", "in", "out", CW)
+	b.Replicate("src") // before declaration: resolved at Build
+	b.Source("src", "C", "in").Sink("snk", "C", "out")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Stream("src").Rep {
+		t.Error("Replicate before declaration lost")
+	}
+}
+
+// TestGraphBuilderDeferredErrors: every construction mistake surfaces at
+// Build, and all of them surface at once.
+func TestGraphBuilderDeferredErrors(t *testing.T) {
+	b := NewGraphBuilder("broken")
+	b.ComponentPath("C", "in", "out", CR)
+	b.Source("src", "C", "in")
+	b.Source("src", "C", "in") // duplicate name
+	b.Seal("ghost", "k")       // unknown stream
+	b.Replicate("phantom")     // unknown stream
+	b.Sink("snk", "Nowhere", "out") // unknown component
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("Build succeeded on a broken graph")
+	}
+	for _, want := range []string{
+		`duplicate stream name "src"`,
+		`Seal("ghost")`,
+		`Replicate("phantom")`,
+		`unknown producer component "Nowhere"`,
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestGraphBuilderSealNeedsKey(t *testing.T) {
+	b := NewGraphBuilder("g")
+	b.ComponentPath("C", "in", "out", CR)
+	b.Source("src", "C", "in").Sink("snk", "C", "out")
+	b.Seal("src") // no key attributes
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "at least one key") {
+		t.Errorf("want missing-key error, got %v", err)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	NewGraphBuilder("empty").Seal("ghost", "k").MustBuild()
+}

@@ -8,6 +8,7 @@
 //	blazes -spec internal/spec/testdata/wordcount.blazes -explain
 //	blazes -spec internal/spec/testdata/adreport.blazes \
 //	       -variant Report=CAMPAIGN -seal clicks=campaign -synthesize
+//	blazes -spec internal/spec/testdata/wordcount.blazes -seal tweets=batch -json
 //
 // Flags:
 //
@@ -18,17 +19,31 @@
 //	-synthesize       print synthesized coordination strategies
 //	-repair           apply strategies and re-analyze to a fixpoint
 //	-sequencing       prefer M1 sequencing over M2 dynamic ordering
+//	-json             emit the analysis as a machine-readable Report
+//	                  (mutually exclusive with -explain: the report
+//	                  already carries the full derivation)
+//
+// Exit codes:
+//
+//	0  analysis completed (whatever the verdict)
+//	1  the spec failed to load or the analysis failed
+//	2  usage error: bad flag syntax, unknown stream, component or variant
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
-	"blazes/internal/dataflow"
-	"blazes/internal/fd"
-	"blazes/internal/spec"
+	"blazes"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
 )
 
 type multiFlag []string
@@ -41,80 +56,151 @@ func main() {
 		specPath   = flag.String("spec", "", "Blazes configuration file")
 		explain    = flag.Bool("explain", false, "print the full derivation")
 		synthesize = flag.Bool("synthesize", false, "print synthesized strategies")
-		repair     = flag.Bool("repair", false, "apply strategies and re-analyze")
+		repair     = flag.Bool("repair", false, "apply strategies and re-analyze to a fixpoint")
 		sequencing = flag.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
+		jsonOut    = flag.Bool("json", false, "emit a machine-readable Report (JSON)")
 		variants   multiFlag
 		seals      multiFlag
 	)
 	flag.Var(&variants, "variant", "Component=Variant annotation selection (repeatable)")
 	flag.Var(&seals, "seal", "stream=attr+attr seal annotation (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: blazes -spec file [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+exit codes:
+  0  analysis completed (whatever the verdict)
+  1  the spec failed to load or the analysis failed
+  2  usage error: bad flag syntax, unknown stream, component or variant
+`)
+	}
 	flag.Parse()
 
 	if *specPath == "" {
-		fmt.Fprintln(os.Stderr, "blazes: -spec is required")
-		flag.Usage()
-		os.Exit(2)
+		usageError("-spec is required")
 	}
-	src, err := os.ReadFile(*specPath)
-	if err != nil {
-		fatal(err)
+	if flag.NArg() > 0 {
+		usageError("unexpected arguments: %s", strings.Join(flag.Args(), " "))
 	}
-	cfg, err := spec.Parse(string(src))
+	if *explain && *jsonOut {
+		usageError("-explain cannot be combined with -json (the report already carries the full derivation)")
+	}
+
+	spec, err := blazes.LoadSpec(*specPath)
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := spec.BuildOptions{Variants: map[string]string{}}
+	var opts []blazes.Option
+	if *sequencing {
+		opts = append(opts, blazes.PreferSequencing())
+	}
 	for _, v := range variants {
 		comp, variant, ok := strings.Cut(v, "=")
-		if !ok {
-			fatal(fmt.Errorf("bad -variant %q (want Component=Variant)", v))
+		if !ok || comp == "" || variant == "" {
+			usageError("bad -variant %q (want Component=Variant)", v)
 		}
-		opts.Variants[comp] = variant
+		known, exists := spec.Variants(comp)
+		if !exists {
+			usageError("-variant %s: unknown component %q (components: %s)",
+				v, comp, strings.Join(spec.Components(), ", "))
+		}
+		if !slices.Contains(known, variant) {
+			usageError("-variant %s: component %q has no variant %q (variants: %s)",
+				v, comp, variant, strings.Join(known, ", "))
+		}
+		opts = append(opts, blazes.WithVariant(comp, variant))
 	}
-	g, err := cfg.Graph(strings.TrimSuffix(*specPath, ".blazes"), opts)
-	if err != nil {
-		fatal(err)
-	}
+	knownStreams := spec.Streams()
 	for _, s := range seals {
 		stream, attrs, ok := strings.Cut(s, "=")
-		if !ok {
-			fatal(fmt.Errorf("bad -seal %q (want stream=attr+attr)", s))
+		if !ok || stream == "" || attrs == "" {
+			usageError("bad -seal %q (want stream=attr+attr)", s)
 		}
-		st := g.Stream(stream)
-		if st == nil {
-			fatal(fmt.Errorf("unknown stream %q", stream))
+		if !slices.Contains(knownStreams, stream) {
+			usageError("-seal %s: unknown stream %q (streams: %s)",
+				s, stream, strings.Join(knownStreams, ", "))
 		}
-		st.Seal = fd.NewAttrSet(strings.Split(attrs, "+")...)
+		key := strings.Split(attrs, "+")
+		for _, attr := range key {
+			if attr == "" {
+				usageError("bad -seal %q: empty attribute name (want stream=attr+attr)", s)
+			}
+		}
+		opts = append(opts, blazes.WithSealRepair(stream, key...))
 	}
 
-	a, err := dataflow.Analyze(g)
+	g, err := spec.Graph(blazes.SpecName(*specPath), opts...)
 	if err != nil {
 		fatal(err)
 	}
-	if *explain {
-		fmt.Println(a.Explain())
-	} else {
-		fmt.Printf("verdict: %s (deterministic: %v)\n", a.Verdict, a.Deterministic())
-	}
 
-	synthOpts := dataflow.SynthesisOptions{PreferSequencing: *sequencing}
-	if *synthesize || *repair {
-		for _, st := range dataflow.Synthesize(a, synthOpts) {
-			fmt.Printf("strategy: %s\n  reason: %s\n", st, st.Reason)
+	analyzer := blazes.NewAnalyzer(opts...)
+	// JSON mode with -repair emits only the fixpoint report; skip the
+	// pre-repair analysis that would otherwise be discarded.
+	var res *blazes.Result
+	if !*jsonOut || !*repair {
+		if *synthesize {
+			res, err = analyzer.Synthesize(g)
+		} else {
+			res, err = analyzer.Analyze(g)
 		}
-	}
-	if *repair {
-		final, sts, err := dataflow.Repair(g, synthOpts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("after repair (%d strategies): verdict %s (deterministic: %v)\n",
-			len(sts), final.Verdict, final.Deterministic())
 	}
+	var fixpoint *blazes.Result
+	if *repair {
+		if fixpoint, err = analyzer.Repair(g); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		// One report: the repair fixpoint when -repair is set (marked
+		// "repaired": true), otherwise the input analysis.
+		final := res
+		if fixpoint != nil {
+			final = fixpoint
+		}
+		out, err := final.Report().MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		os.Exit(exitOK)
+	}
+
+	if *explain {
+		fmt.Println(res.Explain())
+	} else {
+		fmt.Printf("verdict: %s (deterministic: %v)\n", res.Verdict(), res.Deterministic())
+	}
+	if *synthesize {
+		for _, st := range res.Strategies() {
+			fmt.Printf("strategy: %s\n  reason: %s\n", st, st.Reason)
+		}
+	}
+	if fixpoint != nil {
+		// Repair reports the strategies it applied, exactly once, with the
+		// post-repair verdict.
+		for _, st := range fixpoint.Strategies() {
+			fmt.Printf("applied: %s\n  reason: %s\n", st, st.Reason)
+		}
+		fmt.Printf("after repair (%d strategies): verdict %s (deterministic: %v)\n",
+			len(fixpoint.Strategies()), fixpoint.Verdict(), fixpoint.Deterministic())
+	}
+	os.Exit(exitOK)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "blazes: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(exitUsage)
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "blazes:", err)
-	os.Exit(1)
+	// Public-API errors already carry the "blazes: " prefix.
+	fmt.Fprintln(os.Stderr, "blazes:", strings.TrimPrefix(err.Error(), "blazes: "))
+	os.Exit(exitError)
 }

@@ -14,8 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"blazes/internal/experiments"
-	"blazes/internal/sim"
+	"blazes/experiments"
 )
 
 func main() {
@@ -38,11 +37,11 @@ func main() {
 	}
 
 	entries := 1000
-	sleep := sim.Time(0)
+	sleep := experiments.Time(0)
 	batch := 0
 	if *quick {
 		entries = 150
-		sleep = 50 * sim.Millisecond
+		sleep = 50 * experiments.Millisecond
 		batch = 10
 	}
 
@@ -54,7 +53,7 @@ func main() {
 		cfg := experiments.DefaultFig11()
 		cfg.Seed = *seed
 		if *quick {
-			cfg.Duration = 400 * sim.Millisecond
+			cfg.Duration = 400 * experiments.Millisecond
 			cfg.Runs = 1
 		}
 		rows, err := experiments.Fig11(cfg)

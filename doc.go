@@ -8,6 +8,25 @@
 // ordering service, the seal/punctuation protocol, and a deterministic
 // discrete-event network simulator.
 //
+// This top-level package is the public API. It re-exports the domain
+// vocabulary (Label, Annotation, Strategy, Coordination), and provides:
+//
+//   - GraphBuilder: fluent construction of annotated dataflows with
+//     deferred validation (every mistake reported at Build, at once);
+//   - Analyzer: the analysis façade, configured by functional options
+//     (WithSealRepair, PreferSequencing, WithVariant), wrapping label
+//     derivation, strategy synthesis, and fixpoint repair;
+//   - Report: the stable, JSON-serializable projection of an analysis
+//     (stream labels, per-component derivations, verdict, strategies)
+//     emitted by `blazes -json` and golden-tested to round-trip;
+//   - Spec: the grey-box annotation file format of Figure 1.
+//
+// Two sibling packages complete the public surface: blazes/substrate (the
+// simulated Storm wordcount, ad-tracking network, and Bloom white-box
+// extraction) and blazes/experiments (regeneration of the paper's
+// evaluation figures). Everything under internal/ is implementation
+// detail; cmd/ and examples/ consume only the public packages.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// layering, and EXPERIMENTS.md for paper-vs-measured results.
 package blazes

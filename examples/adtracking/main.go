@@ -9,18 +9,17 @@ package main
 import (
 	"fmt"
 
-	"blazes/internal/adtrack"
-	"blazes/internal/sim"
+	"blazes/substrate"
 )
 
-func config(regime adtrack.Regime, independent bool) adtrack.Config {
-	cfg := adtrack.DefaultConfig(5, regime, independent)
+func config(regime substrate.Regime, independent bool) substrate.AdConfig {
+	cfg := substrate.DefaultAdConfig(5, regime, independent)
 	cfg.Workload.EntriesPerServer = 120
 	cfg.Workload.BatchSize = 10
-	cfg.Workload.Sleep = 50 * sim.Millisecond
+	cfg.Workload.Sleep = 50 * substrate.Millisecond
 	cfg.Threshold = 1 << 30 // every count answered
 	cfg.Requests = 10
-	cfg.RequestSpacing = 60 * sim.Millisecond
+	cfg.RequestSpacing = 60 * substrate.Millisecond
 	return cfg
 }
 
@@ -28,19 +27,19 @@ func main() {
 	fmt.Printf("%-18s %10s %10s %8s %s\n", "regime", "records", "finish", "lookups", "replicas agree?")
 	for _, v := range []struct {
 		label       string
-		regime      adtrack.Regime
+		regime      substrate.Regime
 		independent bool
 	}{
-		{"uncoordinated", adtrack.Uncoordinated, false},
-		{"ordered", adtrack.Ordered, false},
-		{"independent seal", adtrack.Sealed, true},
-		{"seal", adtrack.Sealed, false},
+		{"uncoordinated", substrate.Uncoordinated, false},
+		{"ordered", substrate.Ordered, false},
+		{"independent seal", substrate.Sealed, true},
+		{"seal", substrate.Sealed, false},
 	} {
-		res, err := adtrack.Run(config(v.regime, v.independent))
+		res, err := substrate.RunAdNetwork(config(v.regime, v.independent))
 		if err != nil {
 			panic(err)
 		}
-		diff := adtrack.CrossInstanceDiff(res, 3)
+		diff := substrate.CrossInstanceDiff(res, 3)
 		agree := "yes"
 		if diff != "" {
 			agree = "NO — " + diff

@@ -1,5 +1,6 @@
-// Quickstart: annotate a dataflow, run the Blazes analysis, read the
-// verdict, and let the analyzer synthesize the cheapest safe coordination.
+// Quickstart: build an annotated dataflow with the fluent GraphBuilder,
+// run the Blazes Analyzer, read the verdict, and let it synthesize the
+// cheapest safe coordination — all through the public `blazes` API.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,9 +8,7 @@ package main
 import (
 	"fmt"
 
-	"blazes/internal/core"
-	"blazes/internal/dataflow"
-	"blazes/internal/fd"
+	"blazes"
 )
 
 func main() {
@@ -17,26 +16,30 @@ func main() {
 	// into words (confluent, stateless: CR); Count tallies per (word,
 	// batch) — stateful and order-sensitive, but partitioned: OW_{word,
 	// batch}; Commit appends to a keyed store (confluent, stateful: CW).
-	g := dataflow.NewGraph("wordcount")
-	g.Component("Splitter").AddPath("tweets", "words", core.CR)
-	g.Component("Count").AddPath("words", "counts", core.OWGate("word", "batch"))
-	g.Component("Commit").AddPath("counts", "db", core.CW)
-	g.Source("tweets", "Splitter", "tweets")
-	g.Connect("words", "Splitter", "words", "Count", "words")
-	g.Connect("counts", "Count", "counts", "Commit", "counts")
-	g.Sink("db", "Commit", "db")
+	g, err := blazes.NewGraphBuilder("wordcount").
+		ComponentPath("Splitter", "tweets", "words", blazes.CR).
+		ComponentPath("Count", "words", "counts", blazes.OWGate("word", "batch")).
+		ComponentPath("Commit", "counts", "db", blazes.CW).
+		Source("tweets", "Splitter", "tweets").
+		Stream("words", "Splitter", "words", "Count", "words").
+		Stream("counts", "Count", "counts", "Commit", "counts").
+		Sink("db", "Commit", "db").
+		Build()
+	if err != nil {
+		panic(err)
+	}
 
-	a, err := dataflow.Analyze(g)
+	// Blazes recommends coordination; for a replay-based engine that
+	// means sequencing (Storm's transactional topologies).
+	analyzer := blazes.NewAnalyzer(blazes.PreferSequencing())
+	res, err := analyzer.Synthesize(g)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("== unsealed analysis ==")
-	fmt.Println(a.Explain())
-	fmt.Printf("deterministic: %v\n\n", a.Deterministic())
-
-	// Blazes recommends coordination; for a replay-based engine that
-	// means sequencing (Storm's transactional topologies).
-	for _, st := range dataflow.Synthesize(a, dataflow.SynthesisOptions{PreferSequencing: true}) {
+	fmt.Println(res.Explain())
+	fmt.Printf("deterministic: %v\n\n", res.Deterministic())
+	for _, st := range res.Strategies() {
 		fmt.Println("strategy:", st, "—", st.Reason)
 	}
 
@@ -44,13 +47,13 @@ func main() {
 	// is compatible with Count's gate, so no global coordination is
 	// needed — only the per-batch seal protocol.
 	fmt.Println("\n== sealed on batch ==")
-	g.Stream("tweets").Seal = fd.NewAttrSet("batch")
-	a2, err := dataflow.Analyze(g)
+	sealed := blazes.NewAnalyzer(blazes.PreferSequencing(), blazes.WithSealRepair("tweets", "batch"))
+	res2, err := sealed.Synthesize(g)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("verdict: %s, deterministic: %v\n", a2.Verdict, a2.Deterministic())
-	for _, st := range dataflow.Synthesize(a2, dataflow.SynthesisOptions{PreferSequencing: true}) {
+	fmt.Printf("verdict: %s, deterministic: %v\n", res2.Verdict(), res2.Deterministic())
+	for _, st := range res2.Strategies() {
 		fmt.Println("strategy:", st, "—", st.Reason)
 	}
 }

@@ -8,18 +8,17 @@ package main
 import (
 	"fmt"
 
-	"blazes/internal/adtrack"
-	"blazes/internal/bloom"
-	"blazes/internal/dataflow"
+	"blazes"
+	"blazes/substrate"
 )
 
 func main() {
-	for _, query := range []dataflow.AdQuery{dataflow.THRESH, dataflow.POOR, dataflow.CAMPAIGN} {
-		mod, err := adtrack.ReportModule(query, 100)
+	for _, query := range []blazes.AdQuery{blazes.THRESH, blazes.POOR, blazes.CAMPAIGN} {
+		mod, err := substrate.ReportModule(query, 100)
 		if err != nil {
 			panic(err)
 		}
-		analysis, err := bloom.Analyze(mod)
+		analysis, err := substrate.ExtractAnnotations(mod)
 		if err != nil {
 			panic(err)
 		}
@@ -31,19 +30,19 @@ func main() {
 		// Assemble the full network (Report + Cache, both auto-annotated)
 		// and analyze; for CAMPAIGN also seal the click stream.
 		var seal []string
-		if query == dataflow.CAMPAIGN {
-			seal = []string{adtrack.ColCampaign}
+		if query == blazes.CAMPAIGN {
+			seal = []string{substrate.ColCampaign}
 		}
-		g, err := adtrack.Graph(query, seal...)
+		g, err := substrate.WhiteboxAdNetwork(query, seal...)
 		if err != nil {
 			panic(err)
 		}
-		a, err := dataflow.Analyze(g)
+		res, err := blazes.NewAnalyzer().Synthesize(g)
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("  whole-dataflow verdict: %s (deterministic: %v)\n", a.Verdict, a.Deterministic())
-		for _, st := range dataflow.Synthesize(a, dataflow.SynthesisOptions{}) {
+		fmt.Printf("  whole-dataflow verdict: %s (deterministic: %v)\n", res.Verdict(), res.Deterministic())
+		for _, st := range res.Strategies() {
 			fmt.Printf("  strategy: %s\n", st)
 		}
 		fmt.Println()

@@ -9,12 +9,11 @@ import (
 	"fmt"
 	"reflect"
 
-	"blazes/internal/storm"
-	"blazes/internal/wc"
+	"blazes/substrate"
 )
 
 func main() {
-	base := wc.RunConfig{
+	base := substrate.WordcountConfig{
 		Seed:           42,
 		Workers:        8,
 		Batches:        20,
@@ -24,15 +23,15 @@ func main() {
 	}
 
 	sealed := base
-	sealed.Mode = storm.CommitSealed
-	rs, err := wc.Run(sealed)
+	sealed.Mode = substrate.CommitSealed
+	rs, err := substrate.RunWordcount(sealed)
 	if err != nil {
 		panic(err)
 	}
 
 	tx := base
-	tx.Mode = storm.CommitTransactional
-	rt, err := wc.Run(tx)
+	tx.Mode = substrate.CommitTransactional
+	rt, err := substrate.RunWordcount(tx)
 	if err != nil {
 		panic(err)
 	}

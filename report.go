@@ -1,0 +1,288 @@
+package blazes
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"blazes/internal/dataflow"
+)
+
+// ReportVersion identifies the Report JSON schema. Consumers should reject
+// versions they do not understand; the schema only grows within a version.
+const ReportVersion = "blazes.report/v1"
+
+// Report is the stable machine-readable projection of a Result: every
+// stream's derived label, every component's derivation, the verdict, and
+// any synthesized or applied strategies. It is plain data — it marshals to
+// JSON and back without loss (encode → decode → deep-equal), which is what
+// `blazes -json` emits and what embedding systems should persist.
+type Report struct {
+	Version  string `json:"version"`
+	Dataflow string `json:"dataflow"`
+	// Verdict is the highest-severity label among sink streams.
+	Verdict       LabelReport `json:"verdict"`
+	Deterministic bool        `json:"deterministic"`
+	// Streams lists every stream of the analyzed (collapsed) graph with
+	// its derived label, in name order.
+	Streams []StreamReport `json:"streams"`
+	// Components lists the per-component derivations in name order; cycle
+	// supernodes appear under their collapsed name ("scc+A+B").
+	Components []ComponentReport `json:"components"`
+	// Strategies lists synthesized strategies (after Synthesize) or the
+	// strategies applied to reach the fixpoint (after Repair).
+	Strategies []StrategyReport `json:"strategies,omitempty"`
+	// Repaired marks a post-repair fixpoint report: Strategies have been
+	// applied and the labels reflect the coordinated dataflow.
+	Repaired bool `json:"repaired,omitempty"`
+}
+
+// LabelReport is a stream label in wire form.
+type LabelReport struct {
+	// Kind is the paper's label name: "NDRead", "Taint", "Seal", "Async",
+	// "Run", "Inst" or "Diverge".
+	Kind string `json:"kind"`
+	// Key carries the seal key (Seal) or read gate (NDRead) attributes.
+	Key []string `json:"key,omitempty"`
+	// Severity is the label's rank in Figure 8 (higher is worse).
+	Severity int `json:"severity"`
+}
+
+// StreamReport describes one stream and its derived label.
+type StreamReport struct {
+	Name string `json:"name"`
+	// From/To are "Component.iface" endpoints; empty marks an external
+	// source or sink.
+	From       string      `json:"from,omitempty"`
+	To         string      `json:"to,omitempty"`
+	Label      LabelReport `json:"label"`
+	Seal       []string    `json:"seal,omitempty"`
+	Replicated bool        `json:"replicated,omitempty"`
+}
+
+// StepReport is one Figure 9 inference step.
+type StepReport struct {
+	Input      LabelReport `json:"input"`
+	Annotation string      `json:"annotation"`
+	Rule       string      `json:"rule"`
+	Output     LabelReport `json:"output"`
+}
+
+// ReconciliationReport is one Figure 10 run at an output interface.
+type ReconciliationReport struct {
+	Interface string        `json:"interface"`
+	Inputs    []LabelReport `json:"inputs"`
+	Added     []LabelReport `json:"added,omitempty"`
+	Notes     []string      `json:"notes,omitempty"`
+	Output    LabelReport   `json:"output"`
+}
+
+// ComponentReport is one component's derivation record.
+type ComponentReport struct {
+	Name         string                 `json:"name"`
+	Replicated   bool                   `json:"replicated,omitempty"`
+	Coordination string                 `json:"coordination,omitempty"`
+	Steps        []StepReport           `json:"steps"`
+	Outputs      []ReconciliationReport `json:"outputs"`
+}
+
+// StrategyReport is one synthesized coordination strategy in wire form.
+type StrategyReport struct {
+	Component string `json:"component"`
+	// Mechanism is a stable token: "none", "sequencing" (M1),
+	// "dynamic-ordering" (M2) or "sealing" (M3).
+	Mechanism string `json:"mechanism"`
+	// SealKeys maps each gating input stream to its seal key (sealing
+	// strategies only).
+	SealKeys map[string][]string `json:"sealKeys,omitempty"`
+	// Inputs lists the streams routed through the ordering service
+	// (sequencing / dynamic-ordering strategies only).
+	Inputs []string `json:"inputs,omitempty"`
+	Reason string   `json:"reason,omitempty"`
+}
+
+// MechanismToken renders a Coordination as the stable wire token used in
+// StrategyReport.Mechanism.
+func MechanismToken(c Coordination) string {
+	switch c {
+	case CoordSequenced:
+		return "sequencing"
+	case CoordDynamicOrder:
+		return "dynamic-ordering"
+	case CoordSealed:
+		return "sealing"
+	default:
+		return "none"
+	}
+}
+
+// ParseMechanism inverts MechanismToken.
+func ParseMechanism(token string) (Coordination, error) {
+	switch token {
+	case "none":
+		return CoordNone, nil
+	case "sequencing":
+		return CoordSequenced, nil
+	case "dynamic-ordering":
+		return CoordDynamicOrder, nil
+	case "sealing":
+		return CoordSealed, nil
+	default:
+		return CoordNone, fmt.Errorf("blazes: unknown mechanism token %q", token)
+	}
+}
+
+func labelReport(l Label) LabelReport {
+	return LabelReport{Kind: l.Kind.String(), Key: attrList(l.Key), Severity: l.Severity()}
+}
+
+func attrList(s AttrSet) []string {
+	if s.IsEmpty() {
+		return nil
+	}
+	return append([]string(nil), s.Attrs()...)
+}
+
+func endpoint(comp, iface string) string {
+	if comp == "" {
+		return ""
+	}
+	return comp + "." + iface
+}
+
+func strategyReport(st Strategy) StrategyReport {
+	sr := StrategyReport{
+		Component: st.Component,
+		Mechanism: MechanismToken(st.Mechanism),
+		Reason:    st.Reason,
+	}
+	if len(st.SealKeys) > 0 {
+		sr.SealKeys = map[string][]string{}
+		for stream, key := range st.SealKeys {
+			sr.SealKeys[stream] = attrList(key)
+		}
+	}
+	if len(st.Inputs) > 0 {
+		sr.Inputs = append([]string(nil), st.Inputs...)
+	}
+	return sr
+}
+
+// Report projects the Result into its stable wire form.
+func (r *Result) Report() *Report {
+	an := r.analysis
+	rep := &Report{
+		Version:       ReportVersion,
+		Dataflow:      an.Graph.Name,
+		Verdict:       labelReport(an.Verdict),
+		Deterministic: an.Deterministic(),
+		Repaired:      r.repaired,
+	}
+
+	streams := an.Collapsed.Streams()
+	byName := make([]*dataflow.Stream, len(streams))
+	copy(byName, streams)
+	sort.Slice(byName, func(i, j int) bool { return byName[i].Name < byName[j].Name })
+	for _, s := range byName {
+		rep.Streams = append(rep.Streams, StreamReport{
+			Name:       s.Name,
+			From:       endpoint(s.FromComp, s.FromIface),
+			To:         endpoint(s.ToComp, s.ToIface),
+			Label:      labelReport(an.StreamLabels[s.Name]),
+			Seal:       attrList(s.Seal),
+			Replicated: s.Rep,
+		})
+	}
+
+	names := make([]string, 0, len(an.Components))
+	for n := range an.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ca := an.Components[n]
+		cr := ComponentReport{Name: n}
+		if comp := an.Collapsed.Lookup(n); comp != nil {
+			cr.Replicated = comp.Rep
+			if comp.Coordination != CoordNone {
+				cr.Coordination = MechanismToken(comp.Coordination)
+			}
+		}
+		for _, st := range ca.Steps {
+			cr.Steps = append(cr.Steps, StepReport{
+				Input:      labelReport(st.In),
+				Annotation: st.Ann.String(),
+				Rule:       string(st.Rule),
+				Output:     labelReport(st.Out),
+			})
+		}
+		ifaces := make([]string, 0, len(ca.Reconciliations))
+		for iface := range ca.Reconciliations {
+			ifaces = append(ifaces, iface)
+		}
+		sort.Strings(ifaces)
+		for _, iface := range ifaces {
+			rec := ca.Reconciliations[iface]
+			rr := ReconciliationReport{
+				Interface: iface,
+				Output:    labelReport(rec.Output),
+			}
+			for _, l := range rec.Input {
+				rr.Inputs = append(rr.Inputs, labelReport(l))
+			}
+			for _, l := range rec.Added {
+				rr.Added = append(rr.Added, labelReport(l))
+			}
+			if len(rec.Notes) > 0 {
+				rr.Notes = append([]string(nil), rec.Notes...)
+			}
+			cr.Outputs = append(cr.Outputs, rr)
+		}
+		rep.Components = append(rep.Components, cr)
+	}
+
+	for _, st := range r.strategies {
+		rep.Strategies = append(rep.Strategies, strategyReport(st))
+	}
+	return rep
+}
+
+// MarshalIndent renders the report as indented JSON (the `blazes -json`
+// output format).
+func (r *Report) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// DecodeReport parses a Report from JSON, rejecting unknown schema
+// versions.
+func DecodeReport(data []byte) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("blazes: decoding report: %w", err)
+	}
+	if rep.Version != ReportVersion {
+		return nil, fmt.Errorf("blazes: unsupported report version %q (want %q)", rep.Version, ReportVersion)
+	}
+	return &rep, nil
+}
+
+// StreamLabel returns the wire-form label of the named stream, or false
+// when the report has no such stream.
+func (r *Report) StreamLabel(name string) (LabelReport, bool) {
+	for _, s := range r.Streams {
+		if s.Name == name {
+			return s.Label, true
+		}
+	}
+	return LabelReport{}, false
+}
+
+// Strategy returns the strategy for the named component, or false.
+func (r *Report) Strategy(component string) (StrategyReport, bool) {
+	for _, s := range r.Strategies {
+		if s.Component == component {
+			return s, true
+		}
+	}
+	return StrategyReport{}, false
+}
