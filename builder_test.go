@@ -88,9 +88,9 @@ func TestGraphBuilderDeferredErrors(t *testing.T) {
 	b := NewGraphBuilder("broken")
 	b.ComponentPath("C", "in", "out", CR)
 	b.Source("src", "C", "in")
-	b.Source("src", "C", "in") // duplicate name
-	b.Seal("ghost", "k")       // unknown stream
-	b.Replicate("phantom")     // unknown stream
+	b.Source("src", "C", "in")      // duplicate name
+	b.Seal("ghost", "k")            // unknown stream
+	b.Replicate("phantom")          // unknown stream
 	b.Sink("snk", "Nowhere", "out") // unknown component
 	_, err := b.Build()
 	if err == nil {

@@ -65,6 +65,20 @@ func (s Schema) IndexOf(col string) int {
 // Contains reports whether col is in the schema.
 func (s Schema) Contains(col string) bool { return s.IndexOf(col) >= 0 }
 
+// checkNoDupCols rejects schemas with repeated column names. Duplicate
+// names make IndexOf ambiguous and break the evaluator's set-semantics
+// reasoning, so every schema-producing site refuses them.
+func checkNoDupCols(s Schema, ctx string) error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if seen[c] {
+			return fmt.Errorf("bloom: %s produces duplicate column %q (have %v)", ctx, c, s)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
 // Collection declares one named collection.
 type Collection struct {
 	Name   string
@@ -72,55 +86,133 @@ type Collection struct {
 	Schema Schema
 }
 
-// store is the runtime contents of a collection: a set of rows.
+// store is the runtime contents of a collection: a set of rows, bucketed by
+// FNV hash with element-wise equality resolving collisions. Rows held by a
+// store are immutable by convention: the evaluator never mutates a row after
+// construction, so inserts do not clone. Cloning happens only at the public
+// boundary (Deliver in; snapshot/Rows/Emission out).
 type store struct {
-	rows map[string]Row
+	buckets map[uint64][]Row
+	n       int
+	// version counts mutations (it never repeats), so two reads of the
+	// store under equal versions saw identical contents. Rule memoization
+	// keys on it.
+	version uint64
+	// delta holds the rows newly inserted as of the last semi-naive
+	// rotation; newDelta accumulates inserts since. Node.Tick owns the
+	// rotation discipline.
+	delta    []Row
+	newDelta []Row
 }
 
-func newStore() *store { return &store{rows: map[string]Row{}} }
+func newStore() *store { return &store{buckets: map[uint64][]Row{}} }
 
-// insert adds a row; reports whether it was new.
+// insert adds a row; reports whether it was new. The row is aliased, not
+// cloned — callers must not mutate it afterwards.
 func (s *store) insert(r Row) bool {
-	k := r.key()
-	if _, ok := s.rows[k]; ok {
-		return false
+	h := r.hash()
+	b := s.buckets[h]
+	for _, x := range b {
+		if rowsSame(x, r) {
+			return false
+		}
 	}
-	s.rows[k] = r.clone()
+	s.buckets[h] = append(b, r)
+	s.n++
+	s.version++
 	return true
 }
+
+// insertDelta inserts and records genuinely-new rows into newDelta for the
+// semi-naive loop.
+func (s *store) insertDelta(r Row) bool {
+	if !s.insert(r) {
+		return false
+	}
+	s.newDelta = append(s.newDelta, r)
+	return true
+}
+
+// rotate promotes newDelta to delta, reporting whether anything changed.
+func (s *store) rotate() bool {
+	s.delta = s.newDelta
+	s.newDelta = nil
+	return len(s.delta) > 0
+}
+
+// clearDelta drops both delta generations.
+func (s *store) clearDelta() { s.delta, s.newDelta = nil, nil }
 
 // remove deletes a row; reports whether it was present.
 func (s *store) remove(r Row) bool {
-	k := r.key()
-	if _, ok := s.rows[k]; !ok {
-		return false
+	h := r.hash()
+	b := s.buckets[h]
+	for i, x := range b {
+		if rowsSame(x, r) {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(s.buckets, h)
+			} else {
+				s.buckets[h] = b
+			}
+			s.n--
+			s.version++
+			return true
+		}
 	}
-	delete(s.rows, k)
-	return true
+	return false
 }
 
 // contains reports membership.
 func (s *store) contains(r Row) bool {
-	_, ok := s.rows[r.key()]
-	return ok
+	for _, x := range s.buckets[r.hash()] {
+		if rowsSame(x, r) {
+			return true
+		}
+	}
+	return false
 }
 
-// snapshot returns the rows in canonical order.
-func (s *store) snapshot() []Row {
-	keys := make([]string, 0, len(s.rows))
-	for k := range s.rows {
-		keys = append(keys, k)
+// appendRows appends every row (aliased, unordered) to dst — the internal
+// no-clone read path used by compiled scans.
+func (s *store) appendRows(dst []Row) []Row {
+	for _, b := range s.buckets {
+		dst = append(dst, b...)
 	}
-	sort.Strings(keys)
-	out := make([]Row, len(keys))
-	for i, k := range keys {
-		out[i] = s.rows[k].clone()
+	return dst
+}
+
+// snapshot returns cloned rows in canonical order — the public read path.
+// Keys are encoded once per row (decorate-sort), not inside the comparator.
+func (s *store) snapshot() []Row {
+	type keyed struct {
+		key string
+		row Row
+	}
+	ks := make([]keyed, 0, s.n)
+	for _, b := range s.buckets {
+		for _, r := range b {
+			ks = append(ks, keyed{key: r.key(), row: r})
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]Row, len(ks))
+	for i, k := range ks {
+		out[i] = k.row.clone()
 	}
 	return out
 }
 
 // size reports the number of rows.
-func (s *store) size() int { return len(s.rows) }
+func (s *store) size() int { return s.n }
 
 // clear empties the store.
-func (s *store) clear() { s.rows = map[string]Row{} }
+func (s *store) clear() {
+	if s.n > 0 {
+		s.buckets = map[uint64][]Row{}
+		s.n = 0
+		s.version++
+	}
+	s.clearDelta()
+}

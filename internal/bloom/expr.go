@@ -9,16 +9,22 @@ import (
 // The AST is deliberately structural (no opaque functions) so the white-box
 // analyzer can classify monotonicity, extract partition subscripts, and
 // trace column lineage.
+//
+// Each expression carries two evaluation paths: the interpretive eval below
+// (the reference evaluator — it re-resolves schemas on every call and is
+// what seminaive_test.go's differential harness runs), and a compiled
+// counterpart in compile.go that Node.Tick actually executes after NewNode
+// resolves all schemas and column offsets once.
 type Expr interface {
 	// Schema returns the expression's output columns.
 	Schema(m *Module) (Schema, error)
-	// eval computes the rows under the given state reader.
+	// eval computes the rows under the given state reader (reference path).
 	eval(m *Module, st stateReader) ([]Row, error)
 	// reads lists the collections the expression scans.
 	reads() []string
 }
 
-// stateReader supplies collection contents during evaluation.
+// stateReader supplies collection contents during reference evaluation.
 type stateReader interface {
 	rowsOf(name string) []Row
 }
@@ -91,6 +97,9 @@ func (e *ProjectExpr) Schema(m *Module) (Schema, error) {
 			return nil, fmt.Errorf("bloom: project references unknown column %q (have %v)", c.From, in)
 		}
 		out[i] = c.out()
+	}
+	if err := checkNoDupCols(out, "project"); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -470,6 +479,9 @@ func (e *GroupByExpr) Schema(m *Module) (Schema, error) {
 			return nil, fmt.Errorf("bloom: aggregate column %q missing from %v", a.Col, in)
 		}
 		out = append(out, a.As)
+	}
+	if err := checkNoDupCols(out, "group by"); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -153,6 +153,11 @@ func (m *Module) Validate() error {
 	if len(m.rules) == 0 {
 		return fmt.Errorf("bloom: module %q has no rules", m.Name)
 	}
+	for _, c := range m.Collections() {
+		if err := checkNoDupCols(c.Schema, fmt.Sprintf("collection %q", c.Name)); err != nil {
+			return fmt.Errorf("bloom: module %q: %w", m.Name, err)
+		}
+	}
 	for i, r := range m.rules {
 		head := m.colls[r.Head]
 		if head == nil {
@@ -165,6 +170,9 @@ func (m *Module) Validate() error {
 		if len(bodySchema) != len(head.Schema) {
 			return fmt.Errorf("bloom: module %q rule %d: body schema %v does not match head %q schema %v",
 				m.Name, i, bodySchema, r.Head, head.Schema)
+		}
+		if err := validatePredCols(m, r.Body); err != nil {
+			return fmt.Errorf("bloom: module %q rule %d: %w", m.Name, i, err)
 		}
 		for _, read := range r.Body.reads() {
 			if m.colls[read] == nil {
@@ -179,6 +187,52 @@ func (m *Module) Validate() error {
 		}
 	}
 	return nil
+}
+
+// validatePredCols walks an expression checking the column references that
+// Schema resolution alone does not reach (selection predicates and having
+// clauses), so rule compilation at NewNode cannot fail on them later.
+func validatePredCols(m *Module, e Expr) error {
+	switch x := e.(type) {
+	case *SelectExpr:
+		s, err := x.Input.Schema(m)
+		if err != nil {
+			return err
+		}
+		for _, p := range x.Preds {
+			if !s.Contains(p.Col) {
+				return fmt.Errorf("bloom: select references unknown column %q (have %v)", p.Col, s)
+			}
+		}
+		return validatePredCols(m, x.Input)
+	case *GroupByExpr:
+		out, err := x.Schema(m)
+		if err != nil {
+			return err
+		}
+		for _, p := range x.Having {
+			if !out.Contains(p.Col) {
+				return fmt.Errorf("bloom: having references unknown column %q (have %v)", p.Col, out)
+			}
+		}
+		return validatePredCols(m, x.Input)
+	case *ProjectExpr:
+		return validatePredCols(m, x.Input)
+	case *ThresholdExpr:
+		return validatePredCols(m, x.Input)
+	case *JoinExpr:
+		if err := validatePredCols(m, x.Left); err != nil {
+			return err
+		}
+		return validatePredCols(m, x.Right)
+	case *AntiJoinExpr:
+		if err := validatePredCols(m, x.Left); err != nil {
+			return err
+		}
+		return validatePredCols(m, x.Right)
+	default:
+		return nil
+	}
 }
 
 // readers returns rules reading the named collection.

@@ -19,10 +19,13 @@ type Emission struct {
 // network.
 type Node struct {
 	// ID names the node instance (e.g. "report1").
-	ID     string
-	mod    *Module
-	state  map[string]*store
-	strata map[string]int
+	ID    string
+	mod   *Module
+	state map[string]*store
+	// prog is the module compiled against this node's stores: schemas,
+	// strata, and column offsets resolved once, scans bound to store
+	// pointers.
+	prog *program
 	// pendingIns/pendingDel apply at the start of the next tick (<+, <-,
 	// and network deliveries).
 	pendingIns map[string][]Row
@@ -30,12 +33,14 @@ type Node struct {
 	ticks      int
 }
 
-// NewNode instantiates a module. The module must validate and stratify.
+// NewNode instantiates a module. The module must validate, stratify, and
+// compile (compilation additionally resolves predicate and having columns
+// that Validate's schema pass does not reach).
 func NewNode(id string, mod *Module) (*Node, error) {
 	if err := mod.Validate(); err != nil {
 		return nil, err
 	}
-	strata, err := stratify(mod)
+	strata, maxStratum, err := stratify(mod)
 	if err != nil {
 		return nil, err
 	}
@@ -43,12 +48,15 @@ func NewNode(id string, mod *Module) (*Node, error) {
 		ID:         id,
 		mod:        mod,
 		state:      map[string]*store{},
-		strata:     strata,
 		pendingIns: map[string][]Row{},
 		pendingDel: map[string][]Row{},
 	}
 	for _, c := range mod.Collections() {
 		n.state[c.Name] = newStore()
+	}
+	n.prog, err = compileProgram(mod, n.state, strata, maxStratum)
+	if err != nil {
+		return nil, err
 	}
 	return n, nil
 }
@@ -63,10 +71,22 @@ func (n *Node) Deliver(collection string, rows ...Row) error {
 	if c == nil {
 		return fmt.Errorf("bloom: node %s: deliver to unknown collection %q", n.ID, collection)
 	}
+	// Validate the whole batch before queuing anything, so a failed
+	// Deliver is never partially applied.
 	for _, r := range rows {
 		if len(r) != len(c.Schema) {
 			return fmt.Errorf("bloom: node %s: row %v does not match %q schema %v", n.ID, r, collection, c.Schema)
 		}
+		for i, v := range r {
+			switch v.(type) {
+			case string, int64:
+			default:
+				return fmt.Errorf("bloom: node %s: row %v for %q: column %d has unsupported type %T (want string or int64)",
+					n.ID, r, collection, i, v)
+			}
+		}
+	}
+	for _, r := range rows {
 		n.pendingIns[collection] = append(n.pendingIns[collection], r.clone())
 	}
 	return nil
@@ -103,17 +123,23 @@ func (n *Node) rowsOf(name string) []Row { return n.state[name].snapshot() }
 // Tick runs one Bloom timestep:
 //
 //  1. apply queued insertions/deletions (deliveries, <+, <-);
-//  2. evaluate the instant (<=) rules to fixpoint, stratum by stratum;
+//  2. evaluate the instant (<=) rules to fixpoint, stratum by stratum,
+//     semi-naively: after each stratum's first (full, memoized) pass, only
+//     rules reading a collection that changed in the previous iteration
+//     re-fire, and they join per-iteration deltas against full relations;
 //  3. evaluate deferred (<+), delete (<-) and async (<~) rules against the
 //     fixpoint state;
-//  4. collect emissions (async merges and output-interface contents);
+//  4. collect emissions (async merges and output-interface contents), in
+//     canonical row order, cloned at the boundary;
 //  5. clear transient collections.
+//
+// The error return is retained for API stability; compiled evaluation
+// cannot fail (all schema and column resolution happens in NewNode).
 func (n *Node) Tick() ([]Emission, error) {
 	n.ticks++
 
 	// 1. Apply pending work.
-	insOrder := sortedKeys(n.pendingIns)
-	for _, coll := range insOrder {
+	for _, coll := range sortedKeys(n.pendingIns) {
 		st := n.state[coll]
 		for _, r := range n.pendingIns[coll] {
 			st.insert(r)
@@ -128,62 +154,68 @@ func (n *Node) Tick() ([]Emission, error) {
 	}
 	n.pendingDel = map[string][]Row{}
 
-	// 2. Stratified fixpoint of instant rules.
-	maxStratum := 0
-	for _, s := range n.strata {
-		if s > maxStratum {
-			maxStratum = s
+	// 2. Semi-naive stratified fixpoint of instant rules.
+	for s := 0; s <= n.prog.maxStratum; s++ {
+		rules := n.prog.instant[s]
+		if len(rules) == 0 {
+			continue
 		}
-	}
-	for s := 0; s <= maxStratum; s++ {
+		heads := n.prog.heads[s]
+		for _, st := range heads {
+			st.clearDelta()
+		}
+		// First iteration: full (memoized) evaluation of every rule.
+		for _, cr := range rules {
+			for _, row := range cr.eval() {
+				cr.head.insertDelta(row)
+			}
+		}
+		// Delta iterations: only re-fire rules whose reads changed.
 		for {
 			changed := false
-			for _, r := range n.mod.rules {
-				if r.Op != Instant || n.strata[r.Head] != s {
-					continue
-				}
-				rows, err := r.Body.eval(n.mod, n)
-				if err != nil {
-					return nil, fmt.Errorf("bloom: node %s: rule %s: %w", n.ID, r, err)
-				}
-				head := n.state[r.Head]
-				for _, row := range rows {
-					if head.insert(row) {
-						changed = true
-					}
+			for _, st := range heads {
+				if st.rotate() {
+					changed = true
 				}
 			}
 			if !changed {
 				break
 			}
+			for _, cr := range rules {
+				if !cr.dirty() {
+					continue
+				}
+				for _, row := range cr.body.delta(nil) {
+					cr.head.insertDelta(row)
+				}
+			}
+		}
+		for _, st := range heads {
+			st.clearDelta()
 		}
 	}
 
 	// 3. Deferred, delete, and async rules evaluate once on the fixpoint.
+	// Their rows stay internal (pending queues alias immutable rows); only
+	// async emissions cross the public boundary, cloned in step 4.
 	var emissions []Emission
 	asyncRows := map[string][]Row{}
-	for _, r := range n.mod.rules {
-		if r.Op == Instant {
-			continue
-		}
-		rows, err := r.Body.eval(n.mod, n)
-		if err != nil {
-			return nil, fmt.Errorf("bloom: node %s: rule %s: %w", n.ID, r, err)
-		}
+	for _, cr := range n.prog.rest {
+		rows := cr.eval()
 		if len(rows) == 0 {
 			continue
 		}
-		switch r.Op {
+		switch cr.rule.Op {
 		case Deferred:
-			n.pendingIns[r.Head] = append(n.pendingIns[r.Head], cloneRows(rows)...)
+			n.pendingIns[cr.rule.Head] = append(n.pendingIns[cr.rule.Head], rows...)
 		case Delete:
-			n.pendingDel[r.Head] = append(n.pendingDel[r.Head], cloneRows(rows)...)
+			n.pendingDel[cr.rule.Head] = append(n.pendingDel[cr.rule.Head], rows...)
 		case Async:
-			asyncRows[r.Head] = append(asyncRows[r.Head], cloneRows(rows)...)
+			asyncRows[cr.rule.Head] = append(asyncRows[cr.rule.Head], rows...)
 		}
 	}
 	for _, coll := range sortedKeys(asyncRows) {
-		emissions = append(emissions, Emission{Collection: coll, Rows: dedup(asyncRows[coll])})
+		emissions = append(emissions, Emission{Collection: coll, Rows: canonRows(asyncRows[coll])})
 	}
 
 	// 4. Output interfaces emit their fixpoint contents.
@@ -200,6 +232,19 @@ func (n *Node) Tick() ([]Emission, error) {
 		}
 	}
 	return emissions, nil
+}
+
+// canonRows dedups, clones, and canonically orders rows leaving the node.
+func canonRows(rows []Row) []Row {
+	set := newRowSet(len(rows))
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		if set.add(r) {
+			out = append(out, r.clone())
+		}
+	}
+	SortRows(out)
+	return out
 }
 
 // Drain ticks until no queued work remains, returning all emissions. The
@@ -228,13 +273,5 @@ func sortedKeys[V any](m map[string]V) []string {
 		out = append(out, k)
 	}
 	sort.Strings(out)
-	return out
-}
-
-func cloneRows(rows []Row) []Row {
-	out := make([]Row, len(rows))
-	for i, r := range rows {
-		out[i] = r.clone()
-	}
 	return out
 }

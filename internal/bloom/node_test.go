@@ -65,6 +65,35 @@ func TestDeliverErrors(t *testing.T) {
 	}
 }
 
+func TestDeliverRejectsUnsupportedValueTypes(t *testing.T) {
+	n, err := NewNode("n1", echoModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hash and comparison paths are total only over string and int64;
+	// everything else is rejected at the boundary.
+	for _, bad := range []Val{int(1), int32(1), 1.5, true, nil, []byte("x")} {
+		if err := n.Deliver("in", Row{bad}); err == nil || !strings.Contains(err.Error(), "unsupported type") {
+			t.Errorf("Deliver(%T) err = %v, want unsupported-type error", bad, err)
+		}
+	}
+	// A batch with a bad row is rejected atomically: the valid rows ahead
+	// of it must not be queued either.
+	if err := n.Deliver("in", Row{S("valid")}, Row{1.5}); err == nil {
+		t.Error("want unsupported-type error for mixed batch")
+	}
+	if err := n.Deliver("in", Row{S("ok")}, Row{I(7)}); err != nil {
+		t.Errorf("Deliver of string/int64 rows must succeed: %v", err)
+	}
+	// Rejected rows (and batches) must not have been queued.
+	if _, err := n.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size("log") != 2 {
+		t.Errorf("log size = %d, want 2", n.Size("log"))
+	}
+}
+
 func TestInstantFixpointTransitiveClosure(t *testing.T) {
 	// path(x,y) <= edge(x,y); path(x,z) <= join(path, edge): classic
 	// recursion requiring a fixpoint.
@@ -233,6 +262,22 @@ func TestModuleValidateErrors(t *testing.T) {
 			m.Rule("t", Async, Scan("in"))
 			return m
 		}, "async merge"},
+		{"duplicate collection columns", func() *Module {
+			m := NewModule("m")
+			m.Input("in", "v", "v")
+			m.Table("t", "a", "b")
+			m.Rule("t", Instant, Scan("in"))
+			return m
+		}, "duplicate column"},
+		{"duplicate projected columns", func() *Module {
+			// Duplicate output names would make downstream IndexOf
+			// ambiguous and break the compiled join's set semantics.
+			m := NewModule("m")
+			m.Input("in", "a", "b")
+			m.Table("t", "k", "k2")
+			m.Rule("t", Instant, Project(Scan("in"), ColAs("a", "k"), ColAs("b", "k")))
+			return m
+		}, "duplicate column"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

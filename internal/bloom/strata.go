@@ -62,9 +62,10 @@ func nonmonotonic(e Expr) bool {
 
 // stratify assigns each collection a stratum such that positive
 // dependencies stay within a stratum and negative dependencies strictly
-// increase it. Programs with a nonmonotonic dependency cycle are rejected
-// (they have no stratified model).
-func stratify(m *Module) (map[string]int, error) {
+// increase it, returning the assignment and the highest stratum in use.
+// Programs with a nonmonotonic dependency cycle are rejected (they have no
+// stratified model).
+func stratify(m *Module) (map[string]int, int, error) {
 	strata := map[string]int{}
 	for _, c := range m.order {
 		strata[c] = 0
@@ -90,11 +91,17 @@ func stratify(m *Module) (map[string]int, error) {
 			}
 		}
 		if !changed {
-			return strata, nil
+			maxStratum := 0
+			for _, s := range strata {
+				if s > maxStratum {
+					maxStratum = s
+				}
+			}
+			return strata, maxStratum, nil
 		}
 		if iter == n+1 {
 			break
 		}
 	}
-	return nil, fmt.Errorf("bloom: module %q is unstratifiable (nonmonotonic dependency cycle)", m.Name)
+	return nil, 0, fmt.Errorf("bloom: module %q is unstratifiable (nonmonotonic dependency cycle)", m.Name)
 }

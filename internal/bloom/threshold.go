@@ -34,6 +34,9 @@ func (e *ThresholdExpr) Schema(m *Module) (Schema, error) {
 		}
 		out = append(out, k)
 	}
+	if err := checkNoDupCols(out, "threshold"); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -61,8 +61,25 @@ func AsString(v Val) string {
 
 // valsEqual compares two Vals, letting int64 and numeric strings unify only
 // when both are the same dynamic type (tuples are structured data, not
-// text).
-func valsEqual(a, b Val) bool { return a == b }
+// text). It is total: values outside string/int64 (possible via rule
+// constants) compare by rendered form, mirroring key()'s "o" encoding,
+// instead of panicking on non-comparable types.
+func valsEqual(a, b Val) bool {
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	default:
+		switch b.(type) {
+		case int64, string:
+			return false
+		}
+		return AsString(a) == AsString(b)
+	}
+}
 
 // compareVals orders two Vals: ints numerically, strings lexicographically,
 // ints before strings across types (a stable arbitrary choice).
@@ -90,6 +107,100 @@ func compareVals(a, b Val) int {
 
 // Row is one tuple.
 type Row []Val
+
+// FNV-1a constants for the allocation-free row hashes used by store
+// membership, joins, and grouping on the hot path.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	return h
+}
+
+// hashVal folds one value into an FNV-1a hash. Values are tagged by dynamic
+// type so I(1) and S("1") hash differently, and strings are length-prefixed
+// so adjacent values cannot concatenate ambiguously (("as","b") vs
+// ("a","sb")) — both mirroring key()'s encoding.
+func hashVal(h uint64, v Val) uint64 {
+	switch x := v.(type) {
+	case int64:
+		h = hashByte(h, 'i')
+		for s := 0; s < 64; s += 8 {
+			h = hashByte(h, byte(x>>s))
+		}
+		return h
+	case string:
+		h = hashByte(h, 's')
+		h = hashLen(h, len(x))
+		return hashString(h, x)
+	default:
+		// Deliver rejects other types, but stay total for values built by
+		// rule constants.
+		h = hashByte(h, 'o')
+		s := AsString(x)
+		h = hashLen(h, len(s))
+		return hashString(h, s)
+	}
+}
+
+func hashLen(h uint64, n int) uint64 {
+	for s := 0; s < 32; s += 8 {
+		h = hashByte(h, byte(n>>s))
+	}
+	return h
+}
+
+// hash is the row's set-membership hash. Collisions are resolved by bucket
+// scans with rowsSame, so the hash only needs to be well-distributed, not
+// unique.
+func (r Row) hash() uint64 {
+	h := fnvOffset64
+	for _, v := range r {
+		h = hashVal(h, v)
+	}
+	return h
+}
+
+// hashAt hashes the projection of r onto the given column indexes (join and
+// group keys) without materializing the key row.
+func hashAt(r Row, idx []int) uint64 {
+	h := fnvOffset64
+	for _, j := range idx {
+		h = hashVal(h, r[j])
+	}
+	return h
+}
+
+// rowsSame reports element-wise equality of two rows.
+func rowsSame(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if !valsEqual(v, b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// keysSameAt compares the a-projection onto aIdx with the b-projection onto
+// bIdx (join-key equality across two schemas).
+func keysSameAt(a Row, aIdx []int, b Row, bIdx []int) bool {
+	for i, j := range aIdx {
+		if !valsEqual(a[j], b[bIdx[i]]) {
+			return false
+		}
+	}
+	return true
+}
 
 // key encodes a row canonically for set membership.
 func (r Row) key() string {
@@ -145,8 +256,9 @@ func RowsEqual(a, b []Row) bool {
 		seen[r.key()]++
 	}
 	for _, r := range b {
-		seen[r.key()]--
-		if seen[r.key()] < 0 {
+		k := r.key()
+		seen[k]--
+		if seen[k] < 0 {
 			return false
 		}
 	}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the full benchmark suite and record the repo's perf
+# baseline as JSON.
+#
+# Usage:
+#   scripts/bench.sh                 # 5 runs per benchmark -> BENCH_2.json
+#   COUNT=3 OUT=/tmp/b.json scripts/bench.sh
+#
+# Output maps each benchmark to its mean ns/op, B/op, and allocs/op across
+# COUNT runs. See EXPERIMENTS.md ("Performance baseline") for how the file
+# is used to gate regressions between PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench . -benchmem -count "$COUNT" -run '^$' ./... | tee "$RAW"
+
+# Average the per-run lines. Portable awk (no asorti): the sort pre-pass
+# groups benchmark lines so names are emitted in lexicographic order.
+sort "$RAW" | awk -v count="$COUNT" \
+	-v goversion="$(go env GOVERSION)" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op")     { ns[name] += $i; nns[name]++ }
+		if ($(i + 1) == "B/op")      { b[name]  += $i; nb[name]++ }
+		if ($(i + 1) == "allocs/op") { a[name]  += $i; na[name]++ }
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"meta\": {\"generated_by\": \"scripts/bench.sh\", \"count\": %d, \"go\": \"%s\", \"date\": \"%s\"},\n", count, goversion, date
+	printf "  \"benchmarks\": {\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.2f}%s\n", \
+			name, \
+			nns[name] ? ns[name] / nns[name] : 0, \
+			nb[name] ? b[name] / nb[name] : 0, \
+			na[name] ? a[name] / na[name] : 0, \
+			(i < n) ? "," : ""
+	}
+	printf "  }\n}\n"
+}' > "$OUT"
+
+echo "wrote $OUT"
