@@ -1,7 +1,10 @@
 // Command blazes analyzes an annotated dataflow specification (the paper's
 // "grey box" input, Figure 1): it derives stream labels, reports the
 // consistency verdict, and synthesizes the cheapest safe coordination
-// strategy.
+// strategy. The verify subcommand goes further and *proves* the guarantee
+// by adversarial execution: it runs built-in workloads under many seeded
+// delivery schedules with fault injection and checks that coordinated runs
+// are outcome-invariant while stripped runs diverge.
 //
 // Usage:
 //
@@ -9,8 +12,10 @@
 //	blazes -spec internal/spec/testdata/adreport.blazes \
 //	       -variant Report=CAMPAIGN -seal clicks=campaign -synthesize
 //	blazes -spec internal/spec/testdata/wordcount.blazes -seal tweets=batch -json
+//	blazes verify -workload wordcount-storm -seeds 64
+//	blazes verify -json
 //
-// Flags:
+// Flags (analysis mode):
 //
 //	-spec file        the Blazes configuration file (annotations + topology)
 //	-variant C=V      select a named annotation variant for component C
@@ -25,14 +30,19 @@
 //
 // Exit codes:
 //
-//	0  analysis completed (whatever the verdict)
-//	1  the spec failed to load or the analysis failed
-//	2  usage error: bad flag syntax, unknown stream, component or variant
+//	0  analysis completed (whatever the verdict) / every verified
+//	   workload upheld the guarantee
+//	1  the spec failed to load, the analysis failed, or a verified
+//	   workload violated the guarantee
+//	2  usage error: bad flag syntax, unknown stream, component, variant
+//	   or workload
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"slices"
 	"strings"
@@ -52,43 +62,73 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches to the analysis flow or the verify subcommand; it returns
+// the process exit code so tests can drive the command in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "verify" {
+		return runVerify(args[1:], stdout, stderr)
+	}
+	return runAnalyze(args, stdout, stderr)
+}
+
+func runAnalyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blazes", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		specPath   = flag.String("spec", "", "Blazes configuration file")
-		explain    = flag.Bool("explain", false, "print the full derivation")
-		synthesize = flag.Bool("synthesize", false, "print synthesized strategies")
-		repair     = flag.Bool("repair", false, "apply strategies and re-analyze to a fixpoint")
-		sequencing = flag.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
-		jsonOut    = flag.Bool("json", false, "emit a machine-readable Report (JSON)")
+		specPath   = fs.String("spec", "", "Blazes configuration file")
+		explain    = fs.Bool("explain", false, "print the full derivation")
+		synthesize = fs.Bool("synthesize", false, "print synthesized strategies")
+		repair     = fs.Bool("repair", false, "apply strategies and re-analyze to a fixpoint")
+		sequencing = fs.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
+		jsonOut    = fs.Bool("json", false, "emit a machine-readable Report (JSON)")
 		variants   multiFlag
 		seals      multiFlag
 	)
-	flag.Var(&variants, "variant", "Component=Variant annotation selection (repeatable)")
-	flag.Var(&seals, "seal", "stream=attr+attr seal annotation (repeatable)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: blazes -spec file [flags]\n\n")
-		flag.PrintDefaults()
-		fmt.Fprintf(flag.CommandLine.Output(), `
+	fs.Var(&variants, "variant", "Component=Variant annotation selection (repeatable)")
+	fs.Var(&seals, "seal", "stream=attr+attr seal annotation (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: blazes -spec file [flags]\n       blazes verify [flags]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
 exit codes:
   0  analysis completed (whatever the verdict)
   1  the spec failed to load or the analysis failed
   2  usage error: bad flag syntax, unknown stream, component or variant
 `)
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
+	usageError := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "blazes: %s\n", fmt.Sprintf(format, a...))
+		fs.Usage()
+		return exitUsage
+	}
+	fatal := func(err error) int {
+		// Public-API errors already carry the "blazes: " prefix.
+		fmt.Fprintln(stderr, "blazes:", strings.TrimPrefix(err.Error(), "blazes: "))
+		return exitError
+	}
 
 	if *specPath == "" {
-		usageError("-spec is required")
+		return usageError("-spec is required")
 	}
-	if flag.NArg() > 0 {
-		usageError("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	if fs.NArg() > 0 {
+		return usageError("unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
 	if *explain && *jsonOut {
-		usageError("-explain cannot be combined with -json (the report already carries the full derivation)")
+		return usageError("-explain cannot be combined with -json (the report already carries the full derivation)")
 	}
 
 	spec, err := blazes.LoadSpec(*specPath)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	var opts []blazes.Option
@@ -98,15 +138,15 @@ exit codes:
 	for _, v := range variants {
 		comp, variant, ok := strings.Cut(v, "=")
 		if !ok || comp == "" || variant == "" {
-			usageError("bad -variant %q (want Component=Variant)", v)
+			return usageError("bad -variant %q (want Component=Variant)", v)
 		}
 		known, exists := spec.Variants(comp)
 		if !exists {
-			usageError("-variant %s: unknown component %q (components: %s)",
+			return usageError("-variant %s: unknown component %q (components: %s)",
 				v, comp, strings.Join(spec.Components(), ", "))
 		}
 		if !slices.Contains(known, variant) {
-			usageError("-variant %s: component %q has no variant %q (variants: %s)",
+			return usageError("-variant %s: component %q has no variant %q (variants: %s)",
 				v, comp, variant, strings.Join(known, ", "))
 		}
 		opts = append(opts, blazes.WithVariant(comp, variant))
@@ -115,16 +155,16 @@ exit codes:
 	for _, s := range seals {
 		stream, attrs, ok := strings.Cut(s, "=")
 		if !ok || stream == "" || attrs == "" {
-			usageError("bad -seal %q (want stream=attr+attr)", s)
+			return usageError("bad -seal %q (want stream=attr+attr)", s)
 		}
 		if !slices.Contains(knownStreams, stream) {
-			usageError("-seal %s: unknown stream %q (streams: %s)",
+			return usageError("-seal %s: unknown stream %q (streams: %s)",
 				s, stream, strings.Join(knownStreams, ", "))
 		}
 		key := strings.Split(attrs, "+")
 		for _, attr := range key {
 			if attr == "" {
-				usageError("bad -seal %q: empty attribute name (want stream=attr+attr)", s)
+				return usageError("bad -seal %q: empty attribute name (want stream=attr+attr)", s)
 			}
 		}
 		opts = append(opts, blazes.WithSealRepair(stream, key...))
@@ -132,7 +172,7 @@ exit codes:
 
 	g, err := spec.Graph(blazes.SpecName(*specPath), opts...)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	analyzer := blazes.NewAnalyzer(opts...)
@@ -146,13 +186,13 @@ exit codes:
 			res, err = analyzer.Analyze(g)
 		}
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 	var fixpoint *blazes.Result
 	if *repair {
 		if fixpoint, err = analyzer.Repair(g); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 
@@ -165,42 +205,30 @@ exit codes:
 		}
 		out, err := final.Report().MarshalIndent()
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Println(string(out))
-		os.Exit(exitOK)
+		fmt.Fprintln(stdout, string(out))
+		return exitOK
 	}
 
 	if *explain {
-		fmt.Println(res.Explain())
+		fmt.Fprintln(stdout, res.Explain())
 	} else {
-		fmt.Printf("verdict: %s (deterministic: %v)\n", res.Verdict(), res.Deterministic())
+		fmt.Fprintf(stdout, "verdict: %s (deterministic: %v)\n", res.Verdict(), res.Deterministic())
 	}
 	if *synthesize {
 		for _, st := range res.Strategies() {
-			fmt.Printf("strategy: %s\n  reason: %s\n", st, st.Reason)
+			fmt.Fprintf(stdout, "strategy: %s\n  reason: %s\n", st, st.Reason)
 		}
 	}
 	if fixpoint != nil {
 		// Repair reports the strategies it applied, exactly once, with the
 		// post-repair verdict.
 		for _, st := range fixpoint.Strategies() {
-			fmt.Printf("applied: %s\n  reason: %s\n", st, st.Reason)
+			fmt.Fprintf(stdout, "applied: %s\n  reason: %s\n", st, st.Reason)
 		}
-		fmt.Printf("after repair (%d strategies): verdict %s (deterministic: %v)\n",
+		fmt.Fprintf(stdout, "after repair (%d strategies): verdict %s (deterministic: %v)\n",
 			len(fixpoint.Strategies()), fixpoint.Verdict(), fixpoint.Deterministic())
 	}
-	os.Exit(exitOK)
-}
-
-func usageError(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "blazes: %s\n", fmt.Sprintf(format, args...))
-	flag.Usage()
-	os.Exit(exitUsage)
-}
-
-func fatal(err error) {
-	// Public-API errors already carry the "blazes: " prefix.
-	fmt.Fprintln(os.Stderr, "blazes:", strings.TrimPrefix(err.Error(), "blazes: "))
-	os.Exit(exitError)
+	return exitOK
 }

@@ -1,0 +1,122 @@
+// The verify subcommand: schedule-exploration verification of the Blazes
+// guarantee over the built-in workloads.
+//
+// Usage:
+//
+//	blazes verify [-workload name]... [-seeds n] [-sequencing] [-json]
+//
+// Flags:
+//
+//	-workload name    verify one named workload (repeatable; default all).
+//	                  Names: wordcount-storm, bloom-report-THRESH,
+//	                  bloom-report-POOR, bloom-report-CAMPAIGN,
+//	                  adtrack-network, synthetic-set,
+//	                  synthetic-chains-gated, synthetic-chains
+//	-seeds n          schedules explored per (mechanism, fault plan)
+//	                  configuration (default 64)
+//	-sequencing       prefer M1 sequencing over M2 dynamic ordering
+//	-json             emit the reports as a JSON array
+//
+// Exit codes follow the command's contract: 0 when every verified workload
+// upholds the guarantee, 1 on a violation or error, 2 on usage errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"blazes/verify"
+)
+
+func runVerify(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blazes verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seeds      = fs.Int("seeds", verify.DefaultSeeds, "schedules per (mechanism, plan) configuration")
+		sequencing = fs.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
+		jsonOut    = fs.Bool("json", false, "emit reports as a JSON array")
+		workloads  multiFlag
+	)
+	fs.Var(&workloads, "workload", "workload name (repeatable; default: the full suite)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: blazes verify [-workload name]... [-seeds n] [-sequencing] [-json]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nworkloads: %s\n", strings.Join(workloadNames(), ", "))
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "blazes: verify: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return exitUsage
+	}
+	if *seeds <= 0 {
+		fmt.Fprintf(stderr, "blazes: verify: -seeds must be positive\n")
+		fs.Usage()
+		return exitUsage
+	}
+
+	suite := verify.Workloads()
+	selected := suite
+	if len(workloads) > 0 {
+		byName := map[string]verify.Workload{}
+		for _, w := range suite {
+			byName[w.Name()] = w
+		}
+		selected = nil
+		for _, name := range workloads {
+			w, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "blazes: verify: unknown workload %q (workloads: %s)\n",
+					name, strings.Join(workloadNames(), ", "))
+				fs.Usage()
+				return exitUsage
+			}
+			selected = append(selected, w)
+		}
+	}
+
+	opts := verify.Options{Seeds: *seeds, PreferSequencing: *sequencing}
+	var reports []*verify.Report
+	holds := true
+	for _, w := range selected {
+		rep, err := verify.Check(w, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		reports = append(reports, rep)
+		holds = holds && rep.Holds
+		if !*jsonOut {
+			fmt.Fprint(stdout, rep.Summary())
+		}
+	}
+	if *jsonOut {
+		out, err := verify.MarshalReports(reports)
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		fmt.Fprintln(stdout, string(out))
+	}
+	if !holds {
+		fmt.Fprintln(stderr, "blazes: verify: guarantee violated")
+		return exitError
+	}
+	return exitOK
+}
+
+func workloadNames() []string {
+	var names []string
+	for _, w := range verify.Workloads() {
+		names = append(names, w.Name())
+	}
+	return names
+}

@@ -21,11 +21,13 @@
 //     emitted by `blazes -json` and golden-tested to round-trip;
 //   - Spec: the grey-box annotation file format of Figure 1.
 //
-// Two sibling packages complete the public surface: blazes/substrate (the
-// simulated Storm wordcount, ad-tracking network, and Bloom white-box
-// extraction) and blazes/experiments (regeneration of the paper's
-// evaluation figures). Everything under internal/ is implementation
-// detail; cmd/ and examples/ consume only the public packages.
+// Three sibling packages complete the public surface: blazes/substrate
+// (the simulated Storm wordcount, ad-tracking network, and Bloom
+// white-box extraction), blazes/experiments (regeneration of the paper's
+// evaluation figures), and blazes/verify (the schedule-exploration
+// harness that proves the analyzer's guarantee under adversarial
+// delivery). Everything under internal/ is implementation detail; cmd/
+// and examples/ consume only the public packages.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // layering, and EXPERIMENTS.md for paper-vs-measured results.

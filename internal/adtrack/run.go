@@ -143,6 +143,9 @@ type Result struct {
 	Responses []Response
 	// LogSizes is each replica's final click-log cardinality.
 	LogSizes []int
+	// LogDigests is each replica's canonical persistent-state digest
+	// (bloom.Node.Digest), the content-sensitive companion to LogSizes.
+	LogDigests []string
 	// Held reports requests still held at run end (sealed regime, when a
 	// campaign never sealed).
 	Held int
@@ -222,13 +225,9 @@ func Run(cfg Config) (*Result, error) {
 	bursts := cfg.Workload.Plan()
 	requests := cfg.Workload.RequestPlan(cfg.Requests, cfg.RequestSpacing)
 
-	linkDelay := func() sim.Time {
-		d := cfg.Link.MinDelay
-		if span := cfg.Link.MaxDelay - cfg.Link.MinDelay; span > 0 {
-			d += sim.Time(s.Rand().Int63n(int64(span) + 1))
-		}
-		return d
-	}
+	// linkArrival is the partition-adjusted delivery time for a message
+	// sent now over the direct adserver→replica / analyst→replica links.
+	linkArrival := func() sim.Time { return cfg.Link.Arrival(s) }
 
 	var tickErr error
 	fail := func(err error) {
@@ -324,7 +323,7 @@ func Run(cfg Config) (*Result, error) {
 				for _, c := range b.Clicks {
 					for _, r := range replicas {
 						c, r := c, r
-						s.After(linkDelay(), func() { enqueueClick(r, c) })
+						s.At(linkArrival(), func() { enqueueClick(r, c) })
 					}
 				}
 			})
@@ -334,7 +333,7 @@ func Run(cfg Config) (*Result, error) {
 			s.At(req.At, func() {
 				for _, r := range replicas {
 					r := r
-					s.After(linkDelay(), func() { enqueueRequest(r, req) })
+					s.At(linkArrival(), func() { enqueueRequest(r, req) })
 				}
 			})
 		}
@@ -412,7 +411,7 @@ func Run(cfg Config) (*Result, error) {
 		// Per-(producer, replica) FIFO delivery: punctuations are embedded
 		// in the producer's stream and must not overtake its data.
 		fifoDeliver := func(r *replica, server string, fn func()) {
-			at := s.Now() + linkDelay()
+			at := linkArrival()
 			if prev := r.fifo[server]; at < prev {
 				at = prev
 			}
@@ -450,7 +449,7 @@ func Run(cfg Config) (*Result, error) {
 			s.At(req.At, func() {
 				for _, r := range replicas {
 					r := r
-					s.After(linkDelay(), func() {
+					s.At(linkArrival(), func() {
 						if r.tracker.Sealed(req.Campaign) {
 							enqueueRequest(r, req)
 						} else {
@@ -476,6 +475,7 @@ func Run(cfg Config) (*Result, error) {
 			collectTick(r)
 		}
 		res.LogSizes = append(res.LogSizes, r.node.Size("clicklog"))
+		res.LogDigests = append(res.LogDigests, r.node.Digest())
 		res.Held += len(r.held)
 		if n := len(r.series); n > 0 && r.series[n-1].At > res.FinishedAt {
 			res.FinishedAt = r.series[n-1].At

@@ -1,0 +1,127 @@
+package bloom
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runtimeTrace drives one node of a module exercising joins, grouping,
+// recursion, deferred and delete rules through a fixed delivery sequence
+// and renders every tick's emissions plus the final state of every
+// collection. The Bloom runtime has no randomness: its determinism rests
+// on canonical ordering at every boundary (hash-bucketed stores must never
+// leak Go map iteration order), which is exactly what this trace pins.
+func runtimeTrace() string {
+	m := NewModule("det")
+	m.Input("edges", "src", "dst")
+	m.Input("retract", "src", "dst")
+	m.Table("edge", "src", "dst")
+	m.Table("path", "src", "dst")
+	m.Scratch("fanout", "src", "cnt")
+	m.Channel("alerts", "src", "cnt")
+	m.Output("out", "src", "dst")
+	m.Rule("edge", Instant, Scan("edges"))
+	m.Rule("path", Instant, Scan("edge"))
+	m.Rule("path", Instant,
+		Project(
+			Join(Project(Scan("path"), Col("src"), ColAs("dst", "mid")), Scan("edge"), [2]string{"mid", "src"}),
+			Col("src"), Col("dst")))
+	m.Rule("fanout", Instant,
+		GroupBy(Scan("path"), []string{"src"}, Agg{Func: Count, As: "cnt"}))
+	m.Rule("alerts", Async,
+		Select(Scan("fanout"), Where("cnt", GE, I(2))))
+	m.Rule("out", Instant, Scan("path"))
+	m.Rule("edge", Delete, Scan("retract"))
+	m.Rule("edge", Deferred, Project(Scan("retract"), ColAs("dst", "src"), ColAs("src", "dst")))
+
+	n, err := NewNode("det", m)
+	if err != nil {
+		return "node error: " + err.Error()
+	}
+	var b strings.Builder
+	tick := func() {
+		em, err := n.Tick()
+		if err != nil {
+			fmt.Fprintf(&b, "tick error: %v\n", err)
+			return
+		}
+		for _, e := range em {
+			fmt.Fprintf(&b, "emit %s: %v\n", e.Collection, e.Rows)
+		}
+		fmt.Fprintf(&b, "digest=%s pending=%v\n", n.Digest(), n.Pending())
+	}
+	deliver := func(coll string, rows ...Row) {
+		if err := n.Deliver(coll, rows...); err != nil {
+			fmt.Fprintf(&b, "deliver error: %v\n", err)
+		}
+	}
+
+	deliver("edges", Row{S("a"), S("b")}, Row{S("b"), S("c")}, Row{S("c"), S("d")})
+	tick()
+	deliver("edges", Row{S("d"), S("e")}, Row{S("e"), S("a")})
+	deliver("retract", Row{S("b"), S("c")})
+	tick()
+	tick() // deferred/delete queues drain
+	for _, c := range m.Collections() {
+		fmt.Fprintf(&b, "%s=%v\n", c.Name, n.Rows(c.Name))
+	}
+	return b.String()
+}
+
+// TestRuntimeDeterminismRegression pins the documented contract for the
+// Bloom runtime: the same module and delivery sequence produce
+// byte-identical emissions, digests, and final state on every run.
+func TestRuntimeDeterminismRegression(t *testing.T) {
+	base := runtimeTrace()
+	if strings.Contains(base, "error") {
+		t.Fatalf("trace reported an error:\n%s", base)
+	}
+	for i := 0; i < 5; i++ {
+		if got := runtimeTrace(); got != base {
+			t.Fatalf("run %d differs:\n--- first\n%s--- now\n%s", i, base, got)
+		}
+	}
+}
+
+// TestDigestTracksState: equal state ⇒ equal digest; different state ⇒
+// different digest; transient collections are excluded.
+func TestDigestTracksState(t *testing.T) {
+	mk := func() *Node {
+		m := NewModule("d")
+		m.Input("in", "a")
+		m.Table("t", "a")
+		m.Scratch("s", "a")
+		m.Rule("t", Instant, Scan("in"))
+		m.Rule("s", Instant, Scan("t"))
+		n, err := NewNode("d", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a, b := mk(), mk()
+	if a.Digest() != b.Digest() {
+		t.Fatal("fresh nodes disagree")
+	}
+	for _, n := range []*Node{a, b} {
+		if err := n.Deliver("in", Row{S("x")}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical deliveries disagree")
+	}
+	if err := a.Deliver("in", Row{S("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("different state, same digest")
+	}
+}

@@ -2,6 +2,7 @@ package bloom
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -116,6 +117,25 @@ func (n *Node) Size(collection string) int {
 
 // Ticks reports how many timesteps have run.
 func (n *Node) Ticks() int { return n.ticks }
+
+// Digest returns a canonical digest of the node's persistent state: every
+// non-transient collection's name and rows in canonical order. Two nodes
+// running the same module have equal digests exactly when their durable
+// state agrees — the comparison replica-convergence checks rest on.
+func (n *Node) Digest() string {
+	h := fnv.New64a()
+	for _, c := range n.mod.Collections() {
+		if c.Kind.Transient() {
+			continue
+		}
+		fmt.Fprintf(h, "%s[", c.Name)
+		for _, row := range n.state[c.Name].snapshot() {
+			fmt.Fprintf(h, "%s;", row)
+		}
+		fmt.Fprint(h, "]")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // rowsOf implements stateReader.
 func (n *Node) rowsOf(name string) []Row { return n.state[name].snapshot() }

@@ -424,6 +424,234 @@ func TestSemiNaiveMatchesNaiveReference(t *testing.T) {
 	}
 }
 
+// deleteModule generates a module whose rule mix is skewed toward the
+// deferred (<+) and delete (<-) operators, with every delete rule derived
+// from its own head table (a selective self-scan), so deletions actually
+// intersect current contents instead of projecting random constants that
+// almost never match a stored row. Deferred rules feed rows back across
+// ticks, racing re-derivation against deletion.
+func (g *modGen) deleteModule(seed int64) *Module {
+	m := NewModule(fmt.Sprintf("del%d", seed))
+	m.Input("in1", "i1a", "i1b")
+	m.Input("in2", "i2a", "i2b", "i2c")
+	m.Table("t1", "t1a", "t1b")
+	m.Table("t2", "t2a", "t2b", "t2c")
+	m.Scratch("s1", "s1a", "s1b")
+	m.Channel("ch1", "cha", "chb")
+	m.Output("o1", "oa", "ob")
+	colls := m.Collections()
+
+	// selfSubset builds a body selecting a data-dependent subset of the
+	// head table itself, projected back onto its own schema.
+	selfSubset := func(head *Collection) Expr {
+		cols := make([]ColSpec, len(head.Schema))
+		out := make(Schema, len(head.Schema))
+		for i, col := range head.Schema {
+			out[i] = g.fresh()
+			cols[i] = ColAs(col, out[i])
+		}
+		e := Project(Scan(head.Name), cols...)
+		sel := Select(e, Where(out[g.r.Intn(len(out))], CmpOp(g.r.Intn(6)), g.val()))
+		back := make([]ColSpec, len(head.Schema))
+		for i, col := range head.Schema {
+			back[i] = ColAs(out[i], col)
+		}
+		return Project(sel, back...)
+	}
+
+	nRules := 6 + g.r.Intn(4)
+	for i := 0; i < nRules; i++ {
+		switch p := g.r.Intn(10); {
+		case p < 3: // instant feeder
+			head := m.Collection([]string{"t1", "t2", "s1"}[g.r.Intn(3)])
+			body, s := g.expr(m, colls, 1+g.r.Intn(2))
+			m.NamedRule(fmt.Sprintf("r%d", i), head.Name, Instant, g.adapt(body, s, head))
+		case p < 6: // delete a live subset of a table
+			head := m.Collection([]string{"t1", "t2"}[g.r.Intn(2)])
+			m.NamedRule(fmt.Sprintf("r%d", i), head.Name, Delete, selfSubset(head))
+		case p < 9: // deferred feedback
+			head := m.Collection([]string{"t1", "t2"}[g.r.Intn(2)])
+			body, s := g.expr(m, colls, 1+g.r.Intn(2))
+			m.NamedRule(fmt.Sprintf("r%d", i), head.Name, Deferred, g.adapt(body, s, head))
+		default: // async observer
+			head := m.Collection([]string{"ch1", "o1"}[g.r.Intn(2)])
+			body, s := g.expr(m, colls, 1)
+			m.NamedRule(fmt.Sprintf("r%d", i), head.Name, Async, g.adapt(body, s, head))
+		}
+	}
+	return m
+}
+
+// TestSemiNaiveDeleteDeferredWorkloads extends the differential coverage
+// to the delete and deferred queues: 120 seeds of delete/deferred-heavy
+// modules run for 8 ticks (enough for feedback chains to drain) with rows
+// delivered straight into the tables that delete rules target, comparing
+// the compiled semi-naive node against the naive reference on every tick.
+func TestSemiNaiveDeleteDeferredWorkloads(t *testing.T) {
+	const seeds = 120
+	built := 0
+	deletesFired := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		g := &modGen{r: rand.New(rand.NewSource(1000 + seed))}
+		var mod *Module
+		var node *Node
+		for attempt := 0; attempt < 25; attempt++ {
+			m := g.deleteModule(seed)
+			n, err := NewNode("sn", m)
+			if err != nil {
+				continue
+			}
+			mod, node = m, n
+			break
+		}
+		if mod == nil {
+			t.Fatalf("seed %d: no valid module in 25 attempts", seed)
+		}
+		built++
+		ref := newRefNode(t, mod)
+
+		deliverable := []struct {
+			name  string
+			arity int
+		}{{"in1", 2}, {"in2", 3}, {"t1", 2}, {"t2", 3}, {"ch1", 2}}
+		for tick := 0; tick < 8; tick++ {
+			for i := 0; i < 1+g.r.Intn(6); i++ {
+				d := deliverable[g.r.Intn(len(deliverable))]
+				row := g.row(d.arity)
+				if err := node.Deliver(d.name, row); err != nil {
+					t.Fatalf("seed %d tick %d: deliver: %v", seed, tick, err)
+				}
+				ref.deliver(d.name, row)
+			}
+
+			before := node.Size("t1") + node.Size("t2")
+			em, err := node.Tick()
+			if err != nil {
+				t.Fatalf("seed %d tick %d: seminaive tick: %v", seed, tick, err)
+			}
+			refEm, err := ref.tick()
+			if err != nil {
+				t.Fatalf("seed %d tick %d: reference tick: %v", seed, tick, err)
+			}
+			if node.Size("t1")+node.Size("t2") < before {
+				deletesFired++
+			}
+
+			got := map[string][]Row{}
+			for _, e := range em {
+				got[e.Collection] = append(got[e.Collection], e.Rows...)
+			}
+			if len(got) != len(refEm) {
+				t.Fatalf("seed %d tick %d: emitted collections %v vs reference %v", seed, tick, got, refEm)
+			}
+			for coll, rows := range refEm {
+				if !reflect.DeepEqual(sortedCopy(got[coll]), sortedCopy(rows)) {
+					t.Fatalf("seed %d tick %d: emission %q mismatch:\n seminaive: %v\n reference: %v",
+						seed, tick, coll, sortedCopy(got[coll]), sortedCopy(rows))
+				}
+			}
+			for _, c := range mod.Collections() {
+				want := ref.state[c.Name].snapshot()
+				if gotRows := node.Rows(c.Name); !reflect.DeepEqual(gotRows, want) {
+					t.Fatalf("seed %d tick %d: collection %q mismatch:\n seminaive: %v\n reference: %v",
+						seed, tick, c.Name, gotRows, want)
+				}
+			}
+			if node.Pending() != ref.pending() {
+				t.Fatalf("seed %d tick %d: pending %v vs reference %v", seed, tick, node.Pending(), ref.pending())
+			}
+		}
+	}
+	if built != seeds {
+		t.Fatalf("built %d/%d modules", built, seeds)
+	}
+	// The whole point of this generator: deletions must actually shrink
+	// table state somewhere in the sweep.
+	if deletesFired < seeds/10 {
+		t.Fatalf("net deletions observed in only %d runs of %d — generator not exercising delete queues", deletesFired, seeds)
+	}
+}
+
+// TestSemiNaiveDeferredDeleteChain is the directed companion: a deferred
+// rule re-derives what a delete rule removes, so the two pending queues
+// interleave across ticks; a counter stratum watches convergence. The
+// compiled node must match the reference at every tick.
+func TestSemiNaiveDeferredDeleteChain(t *testing.T) {
+	build := func() *Module {
+		m := NewModule("defer-del")
+		m.Input("in", "k", "v")
+		m.Table("live", "k", "v")
+		m.Table("tomb", "k", "v")
+		m.Scratch("sizes", "k", "cnt")
+		m.Output("o1", "k", "cnt")
+		m.Rule("live", Instant, Scan("in"))
+		// Everything marked dead leaves live next tick…
+		m.Rule("live", Delete, Scan("tomb"))
+		// …but half of it is resurrected the tick after.
+		m.Rule("live", Deferred,
+			Select(Scan("tomb"), Where("v", EQ, S("keep"))))
+		// Rows whose value is "drop" get entombed (one tick later).
+		m.Rule("tomb", Deferred,
+			Select(Scan("live"), Where("v", EQ, S("drop"))))
+		m.Rule("sizes", Instant,
+			GroupBy(Scan("live"), []string{"k"}, Agg{Func: Count, As: "cnt"}))
+		m.Rule("o1", Instant, Scan("sizes"))
+		return m
+	}
+	mod := build()
+	n, err := NewNode("n", mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefNode(t, mod)
+
+	step := func(tick int, rows ...Row) {
+		t.Helper()
+		if len(rows) > 0 {
+			if err := n.Deliver("in", rows...); err != nil {
+				t.Fatal(err)
+			}
+			ref.deliver("in", rows...)
+		}
+		em, err := n.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refEm, err := ref.tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string][]Row{}
+		for _, e := range em {
+			got[e.Collection] = append(got[e.Collection], e.Rows...)
+		}
+		for coll, rows := range refEm {
+			if !reflect.DeepEqual(sortedCopy(got[coll]), sortedCopy(rows)) {
+				t.Fatalf("tick %d: emission %q mismatch:\n seminaive: %v\n reference: %v",
+					tick, coll, sortedCopy(got[coll]), sortedCopy(rows))
+			}
+		}
+		for _, c := range mod.Collections() {
+			if got, want := n.Rows(c.Name), ref.state[c.Name].snapshot(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("tick %d: collection %q: seminaive %v vs reference %v", tick, c.Name, got, want)
+			}
+		}
+	}
+
+	step(0,
+		Row{S("a"), S("keep")}, Row{S("a"), S("drop")},
+		Row{S("b"), S("drop")}, Row{S("c"), S("stay")})
+	for tick := 1; tick <= 5; tick++ {
+		step(tick)
+	}
+	// Fixpoint: "drop" rows oscillate into tombs and are not resurrected
+	// (only "keep" values are), so live ends with the keep/stay rows.
+	want := []Row{{S("a"), S("keep")}, {S("c"), S("stay")}}
+	if got := n.Rows("live"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("final live = %v, want %v", got, want)
+	}
+}
+
 // TestSemiNaiveRecursiveAntiJoin pins the antijoin delta path (and its
 // right-side cache invalidation) on a recursive rule whose negative side
 // changes between ticks: path extension may only pass through unblocked

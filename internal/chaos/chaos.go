@@ -1,0 +1,252 @@
+// Package chaos is the schedule-exploration verification harness: it runs a
+// workload (a Storm topology, a replicated Bloom module, the wordcount or
+// the ad network) under many seeded delivery schedules with injected faults
+// — reordering, duplication, bounded extra delay, partition-then-heal — and
+// feeds the per-replica outcomes to a confluence oracle that detects the
+// paper's three anomaly classes (cross-run and cross-instance
+// nondeterminism, replica divergence, generalizing
+// internal/experiments/anomalies.go). The harness closes the loop with the
+// analyzer: Check derives the dataflow's verdict, runs the workload under
+// whatever coordination Synthesize recommends and asserts outcome
+// invariance, then strips the coordination from non-confluent programs and
+// asserts the predicted divergence actually occurs — the paper's Section
+// VIII spot-checks turned into a reusable property checker.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blazes/internal/sim"
+)
+
+// FaultPlan is one adversarial delivery configuration, applied uniformly to
+// every network link a workload uses (including the hops of the ordering
+// service, when one is installed).
+type FaultPlan struct {
+	// Name labels the plan in reports.
+	Name string
+	// DelaySpread widens each link's MaxDelay, increasing reordering.
+	DelaySpread sim.Time
+	// DupProb raises each link's duplicate-delivery probability to at
+	// least this value (at-least-once delivery).
+	DupProb float64
+	// Partitions cuts every link during these windows; messages sent
+	// while a window is open are buffered and flushed at heal time.
+	Partitions []sim.PartitionWindow
+}
+
+// Shape applies the plan to a link configuration.
+func (p FaultPlan) Shape(cfg sim.LinkConfig) sim.LinkConfig {
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	cfg.MaxDelay += p.DelaySpread
+	if p.DupProb > cfg.DupProb {
+		cfg.DupProb = p.DupProb
+	}
+	if len(p.Partitions) > 0 {
+		cfg.Partitions = append(append([]sim.PartitionWindow{}, cfg.Partitions...), p.Partitions...)
+	}
+	return cfg
+}
+
+// DefaultPlans is the standard adversarial sweep: a baseline with the
+// workload's native jitter, a heavy-reorder plan, an at-least-once plan,
+// and a partition that heals mid-run.
+func DefaultPlans() []FaultPlan {
+	return []FaultPlan{
+		{Name: "baseline"},
+		{Name: "reorder", DelaySpread: 8 * sim.Millisecond},
+		{Name: "duplicate", DelaySpread: 4 * sim.Millisecond, DupProb: 0.25},
+		{Name: "partition", DelaySpread: 2 * sim.Millisecond,
+			Partitions: []sim.PartitionWindow{{From: 15 * sim.Millisecond, Until: 60 * sim.Millisecond}}},
+	}
+}
+
+// ReplicaOutcome is one replica's observable behaviour in one run.
+type ReplicaOutcome struct {
+	// Trace is the canonicalized sequence of outputs the replica emitted
+	// during the run (e.g. query answers keyed by request id). Workloads
+	// canonicalize entries so that only content — not delivery timing
+	// within one response — distinguishes traces.
+	Trace []string
+	// Final is a canonical digest of the replica's terminal state (and,
+	// where the workload defines it, the answers it gives at quiescence).
+	Final string
+}
+
+// Outcome is the observable result of one seeded run: one entry per
+// replica. Single-store workloads (the wordcount) may add a synthetic
+// "ground truth" replica whose Final is the schedule-independent expected
+// result, so within-run comparison also checks exactness.
+type Outcome struct {
+	Replicas []ReplicaOutcome
+}
+
+// Anomalies records which of the paper's anomaly classes a sweep exhibited
+// (Figure 5's observable axes).
+type Anomalies struct {
+	// Run: the same configuration produced different outcomes on
+	// different schedules (cross-run nondeterminism).
+	Run bool `json:"run"`
+	// Inst: two replicas emitted different outputs within one run
+	// (cross-instance nondeterminism).
+	Inst bool `json:"inst"`
+	// Diverge: replica terminal states differ within one run.
+	Diverge bool `json:"diverge"`
+}
+
+// Any reports whether any anomaly was observed.
+func (a Anomalies) Any() bool { return a.Run || a.Inst || a.Diverge }
+
+// Within reports whether the observed anomalies are a subset of allowed.
+func (a Anomalies) Within(allowed Anomalies) bool {
+	return (!a.Run || allowed.Run) && (!a.Inst || allowed.Inst) && (!a.Diverge || allowed.Diverge)
+}
+
+func (a Anomalies) String() string {
+	mark := func(b bool) string {
+		if b {
+			return "X"
+		}
+		return "-"
+	}
+	return fmt.Sprintf("Run:%s Inst:%s Div:%s", mark(a.Run), mark(a.Inst), mark(a.Diverge))
+}
+
+// Oracle diffs replica outcomes within and across seeded runs and
+// classifies disagreements into the three anomaly classes. For confluent
+// components the oracle compares eventual outcomes only: transient output
+// subsets are the benign Async behaviour the paper permits, not an anomaly.
+type Oracle struct {
+	confluent bool
+	baseSeed  int64
+	base      *Outcome
+	observed  Anomalies
+	details   []string
+}
+
+// NewOracle creates an oracle; confluent selects eventual-outcome-only
+// comparison.
+func NewOracle(confluent bool) *Oracle { return &Oracle{confluent: confluent} }
+
+// comparable projects a replica outcome onto the comparison the component's
+// property warrants.
+func (o *Oracle) comparable(r ReplicaOutcome) []string {
+	if o.confluent {
+		return []string{r.Final}
+	}
+	return append(append([]string{}, r.Trace...), r.Final)
+}
+
+func (o *Oracle) note(format string, args ...any) {
+	if len(o.details) < 8 {
+		o.details = append(o.details, fmt.Sprintf(format, args...))
+	}
+}
+
+// Observe folds one seeded run into the oracle.
+func (o *Oracle) Observe(seed int64, out Outcome) {
+	if len(out.Replicas) == 0 {
+		return
+	}
+	r0 := out.Replicas[0]
+	for i, r := range out.Replicas[1:] {
+		if !equalStrings(o.comparable(r0), o.comparable(r)) && !o.observed.Inst {
+			o.observed.Inst = true
+			o.note("seed %d: replica %d trace differs from replica 0: %s", seed, i+1,
+				firstDiff(o.comparable(r0), o.comparable(r)))
+		}
+		if r.Final != r0.Final && !o.observed.Diverge {
+			o.observed.Diverge = true
+			o.note("seed %d: replica %d final state diverges from replica 0: %s", seed, i+1,
+				firstDiff([]string{r0.Final}, []string{r.Final}))
+		}
+	}
+	if o.base == nil {
+		o.baseSeed, o.base = seed, &out
+		return
+	}
+	if !o.observed.Run && !equalStrings(o.comparable(o.base.Replicas[0]), o.comparable(r0)) {
+		o.observed.Run = true
+		o.note("seeds %d vs %d: replica 0 outcome differs across schedules: %s", o.baseSeed, seed,
+			firstDiff(o.comparable(o.base.Replicas[0]), o.comparable(r0)))
+	}
+}
+
+// Anomalies returns the classes observed so far.
+func (o *Oracle) Anomalies() Anomalies { return o.observed }
+
+// Details returns human-readable descriptions of the first disagreement
+// seen per class.
+func (o *Oracle) Details() []string { return o.details }
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstDiff renders the first differing position of two traces, clipped.
+func firstDiff(a, b []string) string {
+	clip := func(s string) string {
+		if len(s) > 96 {
+			return s[:96] + "…"
+		}
+		return s
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("entry %d: %q vs %q", i, clip(a[i]), clip(b[i]))
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d", len(a), len(b))
+}
+
+// fifoLink delivers messages over one chaotic link while preserving
+// per-key FIFO order — the seal protocol's contract that a producer's
+// punctuation is embedded in its stream and must not overtake its data.
+// Latency draws and partition holds come from the link configuration;
+// reordering across keys remains.
+type fifoLink struct {
+	s    *sim.Sim
+	cfg  sim.LinkConfig
+	last map[string]sim.Time
+}
+
+func newFifoLink(s *sim.Sim, cfg sim.LinkConfig) *fifoLink {
+	return &fifoLink{s: s, cfg: cfg, last: map[string]sim.Time{}}
+}
+
+// deliver schedules fn at the link's (partition-adjusted) arrival time for
+// a message sent at sent on the FIFO stream identified by key.
+func (l *fifoLink) deliver(key string, sent sim.Time, fn func()) {
+	at := l.cfg.Release(sent, sent+l.cfg.Delay(l.s))
+	if prev := l.last[key]; at < prev {
+		at = prev
+	}
+	l.last[key] = at
+	l.s.At(at, fn)
+}
+
+// digest builds a canonical single-line digest from labeled parts.
+func digest(parts ...string) string { return strings.Join(parts, " | ") }
+
+// canonSet canonicalizes an unordered collection of strings.
+func canonSet(items []string) string {
+	sorted := append([]string{}, items...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}

@@ -1,0 +1,245 @@
+package chaos
+
+import (
+	"fmt"
+
+	"blazes/internal/dataflow"
+)
+
+// Workload is a runnable system under test: it exposes its annotated
+// dataflow for analysis and can execute one seeded run under a fault plan
+// with a chosen delivery mechanism installed (CoordNone strips all
+// coordination).
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Graph returns the annotated dataflow the analyzer reasons about.
+	Graph() (*dataflow.Graph, error)
+	// Supports reports whether the workload can install mech.
+	Supports(mech dataflow.Coordination) bool
+	// Run executes one seeded schedule and returns the observable outcome.
+	Run(seed int64, plan FaultPlan, mech dataflow.Coordination) (Outcome, error)
+}
+
+// Config tunes a verification run.
+type Config struct {
+	// Seeds is the number of schedules explored per (mechanism, plan)
+	// configuration; 0 selects DefaultSeeds.
+	Seeds int
+	// Plans is the fault-plan sweep; nil selects DefaultPlans.
+	Plans []FaultPlan
+	// PreferSequencing selects M1 over M2 when synthesis must order.
+	PreferSequencing bool
+}
+
+// DefaultSeeds is the schedule count the acceptance bar demands per
+// configuration.
+const DefaultSeeds = 64
+
+// Sweep is the oracle verdict for one (mechanism, plan) configuration
+// explored across Seeds schedules.
+type Sweep struct {
+	Mechanism string    `json:"mechanism"`
+	Plan      string    `json:"plan"`
+	Seeds     int       `json:"seeds"`
+	Observed  Anomalies `json:"observed"`
+	Allowed   Anomalies `json:"allowed"`
+	// OK: the observed anomalies are within what Figure 5 permits for the
+	// mechanism.
+	OK bool `json:"ok"`
+	// Detail describes the first disagreement found (empty when none).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the outcome of one Check: the analyzer's verdict, the
+// synthesized strategies, and the oracle verdicts for the coordinated and
+// stripped sweeps.
+type Report struct {
+	Workload      string   `json:"workload"`
+	Verdict       string   `json:"verdict"`
+	Deterministic bool     `json:"deterministic"`
+	Strategies    []string `json:"strategies,omitempty"`
+	// Coordinated holds one sweep per (recommended mechanism, plan):
+	// outcome invariance under the synthesized coordination (or, for
+	// confluent programs, under no coordination at all).
+	Coordinated []Sweep `json:"coordinated"`
+	// Uncoordinated holds the divergence-reproduction sweeps: the same
+	// non-confluent program with coordination stripped. Empty for
+	// confluent programs.
+	Uncoordinated []Sweep `json:"uncoordinated,omitempty"`
+	// DivergenceReproduced: at least one stripped sweep exhibited an
+	// anomaly, confirming the coordination was load-bearing. Vacuously
+	// true when there is nothing to strip: confluent programs, and
+	// workloads that cannot run uncoordinated (no stripped sweeps are
+	// listed in either case).
+	DivergenceReproduced bool `json:"divergence_reproduced"`
+	// Holds: the two-sided guarantee held — every coordinated sweep was
+	// outcome-invariant (within Figure 5's allowance) and, for
+	// non-confluent programs, stripping coordination reproduced
+	// divergence.
+	Holds bool `json:"holds"`
+}
+
+// allowedAnomalies encodes Figure 5's row for each mechanism: sealing and
+// preordained sequencing eliminate every class; a dynamic ordering service
+// removes replication anomalies but not cross-run nondeterminism; a
+// confluent component needs nothing (on the eventual-outcome comparison).
+func allowedAnomalies(mech dataflow.Coordination) Anomalies {
+	if mech == dataflow.CoordDynamicOrder {
+		return Anomalies{Run: true}
+	}
+	return Anomalies{}
+}
+
+// sweep explores cfg.Seeds schedules of one (mechanism, plan) cell.
+func sweep(w Workload, cfg Config, plan FaultPlan, mech dataflow.Coordination, confluent bool) (Sweep, error) {
+	oracle := NewOracle(confluent)
+	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		out, err := w.Run(seed, plan, mech)
+		if err != nil {
+			return Sweep{}, fmt.Errorf("chaos: %s under %s/%s seed %d: %w", w.Name(), mech, plan.Name, seed, err)
+		}
+		oracle.Observe(seed, out)
+	}
+	s := Sweep{
+		Mechanism: mech.String(),
+		Plan:      plan.Name,
+		Seeds:     cfg.Seeds,
+		Observed:  oracle.Anomalies(),
+		Allowed:   allowedAnomalies(mech),
+	}
+	s.OK = s.Observed.Within(s.Allowed)
+	if d := oracle.Details(); len(d) > 0 {
+		s.Detail = d[0]
+	}
+	return s, nil
+}
+
+// Check verifies the Blazes guarantee for one workload:
+//
+//  1. analyze the workload's dataflow and synthesize strategies;
+//  2. if the verdict is deterministic and no strategy is required
+//     (confluent), run the workload *without* coordination under every
+//     fault plan and assert eventual-outcome invariance across schedules;
+//  3. otherwise install each recommended mechanism the workload supports
+//     and assert the runs are outcome-invariant within Figure 5's
+//     allowance for that mechanism;
+//  4. strip the coordination and assert that at least one fault plan
+//     reproduces a detected divergence.
+func Check(w Workload, cfg Config) (*Report, error) {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = DefaultSeeds
+	}
+	if cfg.Plans == nil {
+		cfg.Plans = DefaultPlans()
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %s: graph: %w", w.Name(), err)
+	}
+	an, err := dataflow.Analyze(g)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %s: analyze: %w", w.Name(), err)
+	}
+	rep := &Report{
+		Workload:      w.Name(),
+		Verdict:       an.Verdict.String(),
+		Deterministic: an.Deterministic(),
+	}
+
+	// A deterministic verdict does not by itself mean "run bare": when the
+	// determinism rests on sealed inputs, the runtime must still install
+	// the punctuation/voting protocol, and Synthesize says so. Only a
+	// deterministic program with *no* synthesized strategies is confluent
+	// in the run-it-bare sense.
+	strategies := dataflow.Synthesize(an, dataflow.SynthesisOptions{PreferSequencing: cfg.PreferSequencing})
+	bare := an.Deterministic() && len(strategies) == 0
+
+	var mechs []dataflow.Coordination
+	if bare {
+		mechs = []dataflow.Coordination{dataflow.CoordNone}
+	} else {
+		seen := map[dataflow.Coordination]bool{}
+		for _, st := range strategies {
+			rep.Strategies = append(rep.Strategies, st.String())
+			if st.Mechanism == dataflow.CoordNone || seen[st.Mechanism] {
+				continue
+			}
+			seen[st.Mechanism] = true
+			if w.Supports(st.Mechanism) {
+				mechs = append(mechs, st.Mechanism)
+			}
+		}
+		if len(mechs) == 0 {
+			return nil, fmt.Errorf("chaos: %s: analyzer recommends %v but the workload supports none of it",
+				w.Name(), rep.Strategies)
+		}
+	}
+
+	for _, mech := range mechs {
+		for _, plan := range cfg.Plans {
+			s, err := sweep(w, cfg, plan, mech, bare)
+			if err != nil {
+				return nil, err
+			}
+			rep.Coordinated = append(rep.Coordinated, s)
+		}
+	}
+
+	if bare || !w.Supports(dataflow.CoordNone) {
+		// Nothing to strip: either the program is confluent, or the
+		// workload cannot run uncoordinated — the reproduction half of
+		// the check is vacuous and must not fail the verdict.
+		rep.DivergenceReproduced = true
+	} else {
+		for _, plan := range cfg.Plans {
+			s, err := sweep(w, cfg, plan, dataflow.CoordNone, false)
+			if err != nil {
+				return nil, err
+			}
+			// Stripped sweeps document what went wrong, they are not
+			// held to an allowance.
+			s.Allowed = Anomalies{Run: true, Inst: true, Diverge: true}
+			s.OK = true
+			rep.Uncoordinated = append(rep.Uncoordinated, s)
+			if s.Observed.Any() {
+				rep.DivergenceReproduced = true
+			}
+		}
+	}
+
+	rep.Holds = rep.DivergenceReproduced
+	for _, s := range rep.Coordinated {
+		if !s.OK {
+			rep.Holds = false
+		}
+	}
+	return rep, nil
+}
+
+// Summary renders a one-paragraph human-readable account of the report.
+func (r *Report) Summary() string {
+	status := "HOLDS"
+	if !r.Holds {
+		status = "VIOLATED"
+	}
+	out := fmt.Sprintf("%s: verdict %s (deterministic=%v) — guarantee %s\n", r.Workload, r.Verdict, r.Deterministic, status)
+	for _, st := range r.Strategies {
+		out += fmt.Sprintf("  strategy: %s\n", st)
+	}
+	for _, s := range r.Coordinated {
+		out += fmt.Sprintf("  coordinated %-22s plan %-10s seeds %-3d observed [%s] allowed [%s] ok=%v\n",
+			s.Mechanism, s.Plan, s.Seeds, s.Observed, s.Allowed, s.OK)
+		if s.Detail != "" && !s.OK {
+			out += fmt.Sprintf("    detail: %s\n", s.Detail)
+		}
+	}
+	for _, s := range r.Uncoordinated {
+		out += fmt.Sprintf("  stripped    %-22s plan %-10s seeds %-3d observed [%s]\n",
+			s.Mechanism, s.Plan, s.Seeds, s.Observed)
+	}
+	if len(r.Uncoordinated) > 0 {
+		out += fmt.Sprintf("  divergence reproduced without coordination: %v\n", r.DivergenceReproduced)
+	}
+	return out
+}

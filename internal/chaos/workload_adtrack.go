@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"blazes/internal/adtrack"
+	"blazes/internal/dataflow"
+	"blazes/internal/sim"
+)
+
+// AdNetworkWorkload runs the paper's full ad-tracking network (reporting
+// replicas on the Bloom runtime, the ad-server click plan, the coordination
+// regimes of Section VIII-B) under chaotic delivery. The dataflow is the
+// white-box Figure 4 graph with the click source sealed per campaign, so
+// the analyzer recommends sealing; the harness maps mechanisms onto the
+// network's regimes:
+//
+//	CoordSealed       → adtrack.Sealed (per-campaign unanimous vote)
+//	CoordDynamicOrder → adtrack.Ordered (totally ordered messaging)
+//	CoordNone         → adtrack.Uncoordinated (direct delivery)
+type AdNetworkWorkload struct {
+	Query            dataflow.AdQuery
+	AdServers        int
+	EntriesPerServer int
+	Requests         int
+}
+
+// AdNetwork returns the default chaos-sized ad network.
+func AdNetwork() *AdNetworkWorkload {
+	return &AdNetworkWorkload{Query: dataflow.CAMPAIGN, AdServers: 2, EntriesPerServer: 60, Requests: 6}
+}
+
+// Name implements Workload.
+func (w *AdNetworkWorkload) Name() string { return "adtrack-network" }
+
+// Graph implements Workload.
+func (w *AdNetworkWorkload) Graph() (*dataflow.Graph, error) {
+	return adtrack.Graph(w.Query, adtrack.ColCampaign)
+}
+
+// Supports implements Workload.
+func (w *AdNetworkWorkload) Supports(mech dataflow.Coordination) bool {
+	switch mech {
+	case dataflow.CoordNone, dataflow.CoordDynamicOrder, dataflow.CoordSealed:
+		return true
+	}
+	return false
+}
+
+// Run implements Workload.
+func (w *AdNetworkWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordination) (Outcome, error) {
+	var regime adtrack.Regime
+	switch mech {
+	case dataflow.CoordNone:
+		regime = adtrack.Uncoordinated
+	case dataflow.CoordDynamicOrder:
+		regime = adtrack.Ordered
+	case dataflow.CoordSealed:
+		regime = adtrack.Sealed
+	default:
+		return Outcome{}, fmt.Errorf("adtrack: unsupported mechanism %s", mech)
+	}
+	cfg := adtrack.DefaultConfig(w.AdServers, regime, false)
+	cfg.Seed = seed
+	cfg.Workload.EntriesPerServer = w.EntriesPerServer
+	cfg.Workload.BatchSize = 10
+	cfg.Workload.Sleep = 40 * sim.Millisecond
+	// Concentrate the click stream on few (campaign, ad) groups so group
+	// counts grow within every burst — a request racing in-flight clicks
+	// then reads different counts at different replicas.
+	cfg.Workload.Campaigns = 2
+	cfg.Workload.AdsPerCampaign = 2
+	cfg.Requests = w.Requests
+	// Requests land exactly on the burst cadence so answers race in-flight
+	// clicks; in the gaps between bursts every replica would agree.
+	cfg.RequestSpacing = cfg.Workload.Sleep
+	cfg.Link = plan.Shape(cfg.Link)
+	cfg.Sequencer.SubmitDelay = plan.Shape(cfg.Sequencer.SubmitDelay)
+	cfg.Sequencer.DeliverDelay = plan.Shape(cfg.Sequencer.DeliverDelay)
+
+	res, err := adtrack.Run(cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	// Per-replica answers keyed by request id; entries sorted by request
+	// id so only content distinguishes traces.
+	answers := make([]map[string][]string, cfg.Replicas)
+	for i := range answers {
+		answers[i] = map[string][]string{}
+	}
+	for _, resp := range res.Responses {
+		reqid := fmt.Sprint(resp.Row[1])
+		answers[resp.Replica][reqid] = append(answers[resp.Replica][reqid], resp.Row.String())
+	}
+	out := Outcome{}
+	for i := 0; i < cfg.Replicas; i++ {
+		ids := make([]string, 0, len(answers[i]))
+		for id := range answers[i] {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		trace := make([]string, 0, len(ids))
+		for _, id := range ids {
+			trace = append(trace, fmt.Sprintf("%s→{%s}", id, canonSet(answers[i][id])))
+		}
+		final := fmt.Sprintf("state:%s held:%d", res.LogDigests[i], res.Held)
+		out.Replicas = append(out.Replicas, ReplicaOutcome{Trace: trace, Final: final})
+	}
+	return out, nil
+}

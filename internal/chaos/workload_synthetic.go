@@ -1,0 +1,350 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"blazes/internal/coord"
+	"blazes/internal/core"
+	"blazes/internal/dataflow"
+	"blazes/internal/fd"
+	"blazes/internal/sim"
+)
+
+// SyntheticWorkload is the Figure 5 component generalized from
+// internal/experiments/anomalies.go and wired into the harness: N producers
+// stream messages to R replicas of a single component, with interleaved
+// reads. Three variants span the annotation lattice:
+//
+//   - confluent: a grow-only set (CW write, CR read) — the analyzer
+//     certifies it and the harness runs it bare;
+//   - gated order-sensitive: per-producer hash chains with the source
+//     sealed on producer (OW_producer / OR_producer + Seal_producer) — the
+//     analyzer recommends sealing (M3);
+//   - ungated order-sensitive: the same chains with unknown partitioning
+//     (OW*/OR*) — the analyzer must fall back to ordering (M2/M1).
+//
+// Replicas deduplicate retransmissions by (producer, seq) — the standard
+// at-least-once discipline — so duplication faults exercise idempotence
+// while delivery order remains the nondeterminism under test.
+type SyntheticWorkload struct {
+	// Confluent selects the grow-only-set variant.
+	Confluent bool
+	// Gated marks the order-sensitive paths as partitioned per producer
+	// and seals the source; ignored when Confluent.
+	Gated bool
+	// Producers, PerProducer, Reads, Replicas size the run.
+	Producers, PerProducer, Reads, Replicas int
+}
+
+// SyntheticSet returns the confluent variant.
+func SyntheticSet() *SyntheticWorkload {
+	return &SyntheticWorkload{Confluent: true, Producers: 2, PerProducer: 10, Reads: 4, Replicas: 2}
+}
+
+// SyntheticChains returns the order-sensitive variant; gated selects
+// per-producer partitioning (sealable).
+func SyntheticChains(gated bool) *SyntheticWorkload {
+	return &SyntheticWorkload{Gated: gated, Producers: 2, PerProducer: 10, Reads: 4, Replicas: 2}
+}
+
+// Name implements Workload.
+func (w *SyntheticWorkload) Name() string {
+	switch {
+	case w.Confluent:
+		return "synthetic-set"
+	case w.Gated:
+		return "synthetic-chains-gated"
+	default:
+		return "synthetic-chains"
+	}
+}
+
+// Graph implements Workload.
+func (w *SyntheticWorkload) Graph() (*dataflow.Graph, error) {
+	g := dataflow.NewGraph(w.Name())
+	comp := g.Component("Synthetic")
+	comp.Rep = true
+	switch {
+	case w.Confluent:
+		comp.AddPath("msgs", "out", core.CW)
+		comp.AddPath("reads", "out", core.CR)
+	case w.Gated:
+		comp.AddPath("msgs", "out", core.OWGate("producer"))
+		comp.AddPath("reads", "out", core.ORGate("producer"))
+	default:
+		comp.AddPath("msgs", "out", core.OWStar())
+		comp.AddPath("reads", "out", core.ORStar())
+	}
+	src := g.Source("msgs", "Synthetic", "msgs")
+	if w.Gated && !w.Confluent {
+		src.Seal = fd.NewAttrSet("producer")
+	}
+	g.Source("reads", "Synthetic", "reads")
+	g.Sink("out", "Synthetic", "out")
+	return g, nil
+}
+
+// Supports implements Workload: the synthetic component can install every
+// Figure 5 mechanism.
+func (w *SyntheticWorkload) Supports(mech dataflow.Coordination) bool {
+	switch mech {
+	case dataflow.CoordNone, dataflow.CoordSequenced, dataflow.CoordDynamicOrder, dataflow.CoordSealed:
+		return true
+	}
+	return false
+}
+
+// synMsg is one producer message.
+type synMsg struct {
+	Producer string
+	Seq      int
+}
+
+func (m synMsg) id() string    { return fmt.Sprintf("%s:%d", m.Producer, m.Seq) }
+func (m synMsg) value() string { return m.id() }
+
+// synReplica is one replica of the component under test.
+type synReplica struct {
+	confluent bool
+	seen      map[string]bool
+	set       map[string]bool
+	chains    map[string]uint64
+	outputs   []string
+}
+
+func newSynReplica(confluent bool) *synReplica {
+	return &synReplica{confluent: confluent, seen: map[string]bool{}, set: map[string]bool{}, chains: map[string]uint64{}}
+}
+
+func (r *synReplica) apply(m synMsg) {
+	if r.seen[m.id()] {
+		return // at-least-once duplicate
+	}
+	r.seen[m.id()] = true
+	if r.confluent {
+		r.set[m.value()] = true
+		return
+	}
+	r.chains[m.Producer] = synChainHash(r.chains[m.Producer], m.value())
+}
+
+func (r *synReplica) read() { r.outputs = append(r.outputs, r.snapshot()) }
+
+func (r *synReplica) snapshot() string {
+	if r.confluent {
+		vals := make([]string, 0, len(r.set))
+		for v := range r.set {
+			vals = append(vals, v)
+		}
+		return canonSet(vals)
+	}
+	keys := make([]string, 0, len(r.chains))
+	for k := range r.chains {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%x", k, r.chains[k]))
+	}
+	return canonSet(parts)
+}
+
+func (r *synReplica) outcome() ReplicaOutcome {
+	return ReplicaOutcome{Trace: append([]string{}, r.outputs...), Final: r.snapshot()}
+}
+
+func synChainHash(prev uint64, v string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%x|%s", prev, v)
+	return h.Sum64()
+}
+
+// Run implements Workload.
+func (w *SyntheticWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordination) (Outcome, error) {
+	span := 80 * sim.Millisecond
+	s := sim.New(seed)
+	link := plan.Shape(sim.LinkConfig{MinDelay: 100 * sim.Microsecond, MaxDelay: 12 * sim.Millisecond})
+
+	reps := make([]*synReplica, w.Replicas)
+	for i := range reps {
+		reps[i] = newSynReplica(w.Confluent)
+	}
+	var msgs []synMsg
+	for p := 0; p < w.Producers; p++ {
+		for i := 0; i < w.PerProducer; i++ {
+			msgs = append(msgs, synMsg{Producer: fmt.Sprintf("p%d", p), Seq: i})
+		}
+	}
+	sendTime := func(m synMsg) sim.Time {
+		return span * sim.Time(m.Seq*w.Producers) / sim.Time(len(msgs))
+	}
+	readTimes := make([]sim.Time, w.Reads)
+	for i := range readTimes {
+		readTimes[i] = span * sim.Time(i+1) / sim.Time(w.Reads+1)
+	}
+	// arrival draws one chaotic hop for a message sent at `sent`.
+	arrival := func(sent sim.Time) sim.Time {
+		return link.Release(sent, sent+link.Delay(s))
+	}
+	// dup reports whether the link duplicates this delivery.
+	dup := func() bool { return link.DupProb > 0 && s.Rand().Float64() < link.DupProb }
+
+	switch mech {
+	case dataflow.CoordNone:
+		for _, m := range msgs {
+			m := m
+			at := sendTime(m)
+			for _, r := range reps {
+				r := r
+				s.At(arrival(at), func() { r.apply(m) })
+				if dup() {
+					s.At(arrival(at), func() { r.apply(m) })
+				}
+			}
+		}
+		for _, t := range readTimes {
+			for _, r := range reps {
+				r := r
+				s.At(arrival(t), func() { r.read() })
+			}
+		}
+
+	case dataflow.CoordSequenced:
+		// M1: a preordained total order, fully deterministic: messages by
+		// global index with reads at fixed positions.
+		type step struct {
+			msg  *synMsg
+			read bool
+		}
+		var order []step
+		stride := len(msgs)/(w.Reads+1) + 1
+		for i, m := range msgs {
+			m := m
+			order = append(order, step{msg: &m})
+			if (i+1)%stride == 0 {
+				order = append(order, step{read: true})
+			}
+		}
+		order = append(order, step{read: true})
+		at := sim.Time(0)
+		for _, st := range order {
+			st := st
+			at += sim.Millisecond
+			s.At(at, func() {
+				for _, r := range reps {
+					if st.read {
+						r.read()
+					} else {
+						r.apply(*st.msg)
+					}
+				}
+			})
+		}
+
+	case dataflow.CoordDynamicOrder:
+		// M2: the ordering service decides a per-run arrival order; its
+		// own hops suffer the fault plan too.
+		cfg := coord.DefaultSequencer
+		cfg.SubmitDelay = plan.Shape(cfg.SubmitDelay)
+		cfg.DeliverDelay = plan.Shape(cfg.DeliverDelay)
+		seq := coord.NewSequencer(s, cfg)
+		for _, r := range reps {
+			r := r
+			seq.Subscribe(func(m coord.Sequenced) {
+				switch v := m.Msg.(type) {
+				case synMsg:
+					r.apply(v)
+				case string:
+					r.read()
+				}
+			})
+		}
+		for _, m := range msgs {
+			m := m
+			s.At(sendTime(m), func() { seq.Submit(m) })
+		}
+		for i, t := range readTimes {
+			i := i
+			s.At(t, func() { seq.Submit(fmt.Sprintf("read%d", i)) })
+		}
+
+	case dataflow.CoordSealed:
+		// M3: per-producer partitions sealed by punctuation after the
+		// producer's last message; reads gate on every partition. Seals
+		// ride the producer's FIFO stream so they cannot overtake data.
+		registry := coord.NewRegistry(s, link)
+		for p := 0; p < w.Producers; p++ {
+			producer := fmt.Sprintf("p%d", p)
+			registry.Register(producer, producer)
+		}
+		for ri := range reps {
+			r := reps[ri]
+			sealed := 0
+			var heldReads []func()
+			tracker := coord.NewSealTracker(func(partition string, buffered []any) {
+				vals := make([]synMsg, 0, len(buffered))
+				for _, b := range buffered {
+					vals = append(vals, b.(synMsg))
+				}
+				sort.Slice(vals, func(i, j int) bool { return vals[i].Seq < vals[j].Seq })
+				for _, m := range vals {
+					r.apply(m)
+				}
+				sealed++
+				if sealed == w.Producers {
+					for _, fn := range heldReads {
+						fn()
+					}
+					heldReads = nil
+				}
+			})
+			fifo := newFifoLink(s, link)
+			for p := 0; p < w.Producers; p++ {
+				producer := fmt.Sprintf("p%d", p)
+				registry.Lookup(producer, func(producers []string) {
+					tracker.SetExpected(producer, producers)
+				})
+			}
+			var lastSend sim.Time
+			for _, m := range msgs {
+				m := m
+				at := sendTime(m)
+				if at > lastSend {
+					lastSend = at
+				}
+				fifo.deliver(m.Producer, at, func() { tracker.Data(m.Producer, m) })
+				if dup() {
+					fifo.deliver(m.Producer, at, func() { tracker.Data(m.Producer, m) })
+				}
+			}
+			for p := 0; p < w.Producers; p++ {
+				producer := fmt.Sprintf("p%d", p)
+				fifo.deliver(producer, lastSend+sim.Millisecond, func() {
+					tracker.Seal(coord.Punctuation{Partition: producer, Producer: producer})
+				})
+			}
+			for _, t := range readTimes {
+				s.At(arrival(t), func() {
+					if sealed == w.Producers {
+						r.read()
+					} else {
+						heldReads = append(heldReads, r.read)
+					}
+				})
+			}
+		}
+
+	default:
+		return Outcome{}, fmt.Errorf("synthetic: unsupported mechanism %s", mech)
+	}
+
+	s.Run()
+	out := Outcome{}
+	for _, r := range reps {
+		out.Replicas = append(out.Replicas, r.outcome())
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blazes/internal/dataflow"
+	"blazes/internal/sim"
+	"blazes/internal/storm"
+	"blazes/internal/wc"
+)
+
+// WordcountWorkload runs the paper's streaming wordcount on the simulated
+// Storm engine. Its dataflow carries Seal_batch on the tweet source, so the
+// analyzer proves the outputs deterministic *provided* the runtime installs
+// the sealing protocol — which is exactly Storm's batch punctuation plus
+// sealed commits. The harness therefore maps:
+//
+//	CoordSealed    → punctuated batches, independent sealed commits (M3)
+//	CoordSequenced → punctuated batches, transactional in-order commits (M1)
+//	CoordNone      → punctuation stripped: batches are guessed by timer,
+//	                 the anomalous configuration the paper warns about
+//
+// The outcome pairs the engine's committed store with the
+// schedule-independent ground truth as a synthetic second replica, so the
+// oracle's within-run comparison also checks exactness, not just
+// schedule-invariance.
+type WordcountWorkload struct {
+	Workers        int
+	Batches        int64
+	TuplesPerBatch int
+	WordsPerTweet  int
+	// FlushTimeout is the timer used when punctuation is stripped; it is
+	// deliberately inside the fault plans' delay spread so that late
+	// tuples straggle.
+	FlushTimeout sim.Time
+}
+
+// Wordcount returns the default chaos-sized wordcount (small enough that a
+// 64-seed sweep stays cheap).
+func Wordcount() *WordcountWorkload {
+	return &WordcountWorkload{
+		Workers:        3,
+		Batches:        4,
+		TuplesPerBatch: 8,
+		WordsPerTweet:  3,
+		FlushTimeout:   5 * sim.Millisecond,
+	}
+}
+
+// Name implements Workload.
+func (w *WordcountWorkload) Name() string { return "wordcount-storm" }
+
+// Graph implements Workload.
+func (w *WordcountWorkload) Graph() (*dataflow.Graph, error) {
+	return dataflow.WordcountTopology(true), nil
+}
+
+// Supports implements Workload.
+func (w *WordcountWorkload) Supports(mech dataflow.Coordination) bool {
+	switch mech {
+	case dataflow.CoordNone, dataflow.CoordSealed, dataflow.CoordSequenced:
+		return true
+	}
+	return false
+}
+
+// Run implements Workload.
+func (w *WordcountWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordination) (Outcome, error) {
+	engine := storm.DefaultConfig()
+	engine.Link = plan.Shape(engine.Link)
+	engine.Sequencer.SubmitDelay = plan.Shape(engine.Sequencer.SubmitDelay)
+	engine.Sequencer.DeliverDelay = plan.Shape(engine.Sequencer.DeliverDelay)
+	engine.FlushTimeout = w.FlushTimeout
+
+	mode := storm.CommitSealed
+	punctuate := true
+	switch mech {
+	case dataflow.CoordSealed:
+	case dataflow.CoordSequenced:
+		mode = storm.CommitTransactional
+	case dataflow.CoordNone:
+		punctuate = false
+	default:
+		return Outcome{}, fmt.Errorf("wordcount: unsupported mechanism %s", mech)
+	}
+
+	res, err := wc.Run(wc.RunConfig{
+		Seed:           seed,
+		Workers:        w.Workers,
+		Batches:        w.Batches,
+		TuplesPerBatch: w.TuplesPerBatch,
+		WordsPerTweet:  w.WordsPerTweet,
+		Mode:           mode,
+		Punctuate:      punctuate,
+		Engine:         &engine,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	spout := &wc.TweetSpout{
+		Batches:        w.Batches,
+		TuplesPerBatch: w.TuplesPerBatch,
+		WordsPerTweet:  w.WordsPerTweet,
+	}
+	return Outcome{Replicas: []ReplicaOutcome{
+		{Final: digestCounts(res.Store.Snapshot())},
+		{Final: digestCounts(spout.ExpectedCounts(w.Workers))},
+	}}, nil
+}
+
+// digestCounts canonicalizes per-batch word counts.
+func digestCounts(counts map[int64]map[string]int64) string {
+	batches := make([]int64, 0, len(counts))
+	for b := range counts {
+		batches = append(batches, b)
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i] < batches[j] })
+	var out []string
+	for _, b := range batches {
+		words := make([]string, 0, len(counts[b]))
+		for word := range counts[b] {
+			words = append(words, word)
+		}
+		sort.Strings(words)
+		row := make([]string, 0, len(words))
+		for _, word := range words {
+			row = append(row, fmt.Sprintf("%s=%d", word, counts[b][word]))
+		}
+		out = append(out, fmt.Sprintf("b%d{%s}", b, strings.Join(row, ",")))
+	}
+	return digest(out...)
+}

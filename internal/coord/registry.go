@@ -46,12 +46,16 @@ func (r *Registry) Producers(partition string) []string {
 }
 
 // Lookup asynchronously resolves the producer set for a partition, invoking
-// cb after one registry round trip.
+// cb after one registry round trip. Both legs honor partition windows on
+// the configured link: a lookup issued while the registry is unreachable
+// completes only after the partition heals.
 func (r *Registry) Lookup(partition string, cb func(producers []string)) {
 	r.lookups++
-	delay := randomDelay(r.sim, r.rtt) + randomDelay(r.sim, r.rtt) // request + response
+	sent := r.sim.Now()
+	request := r.rtt.Release(sent, sent+r.rtt.Delay(r.sim))
+	response := r.rtt.Release(request, request+r.rtt.Delay(r.sim))
 	producers := r.Producers(partition)
-	r.sim.After(delay, func() { cb(producers) })
+	r.sim.At(response, func() { cb(producers) })
 }
 
 // Lookups reports how many Lookup calls were made (the sealing strategy

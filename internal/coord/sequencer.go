@@ -71,8 +71,7 @@ func (q *Sequencer) Subscribe(fn func(Sequenced)) {
 // and broadcast to all subscribers.
 func (q *Sequencer) Submit(msg any) {
 	q.submitted++
-	delay := randomDelay(q.sim, q.cfg.SubmitDelay)
-	q.sim.After(delay, func() { q.arrive(msg) })
+	q.sim.At(q.cfg.SubmitDelay.Arrival(q.sim), func() { q.arrive(msg) })
 }
 
 // arrive sequences one message, modelling the service's serial processing.
@@ -96,7 +95,7 @@ func (q *Sequencer) arrive(msg any) {
 // jittered hop never overtakes earlier deliveries.
 func (s *subscriber) deliver(m Sequenced) {
 	q := s.seq
-	at := q.sim.Now() + randomDelay(q.sim, q.cfg.DeliverDelay)
+	at := q.cfg.DeliverDelay.Arrival(q.sim)
 	if at < s.lastDelivery {
 		at = s.lastDelivery
 	}
@@ -124,11 +123,3 @@ func (q *Sequencer) Submitted() int { return q.submitted }
 
 // Delivered reports the total number of subscriber deliveries.
 func (q *Sequencer) Delivered() int { return q.delivered }
-
-func randomDelay(s *sim.Sim, cfg sim.LinkConfig) sim.Time {
-	d := cfg.MinDelay
-	if span := cfg.MaxDelay - cfg.MinDelay; span > 0 {
-		d += sim.Time(s.Rand().Int63n(int64(span) + 1))
-	}
-	return d
-}

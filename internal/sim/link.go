@@ -1,5 +1,17 @@
 package sim
 
+// PartitionWindow is an interval during which a link is cut. Messages sent
+// while the window is open are buffered at the sender and transmitted when
+// the partition heals (at Until) — the partition-then-heal fault the chaos
+// harness injects. Messages already in flight when the window opens are
+// unaffected (they left the sender before the cut).
+type PartitionWindow struct {
+	From, Until Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w PartitionWindow) Contains(t Time) bool { return t >= w.From && t < w.Until }
+
 // LinkConfig shapes the delivery behaviour of a simulated network channel.
 type LinkConfig struct {
 	// MinDelay/MaxDelay bound the uniformly drawn per-message latency.
@@ -11,6 +23,49 @@ type LinkConfig struct {
 	DupProb float64
 	// DropProb is the probability a message is silently lost.
 	DropProb float64
+	// Partitions lists windows during which the link is cut; see
+	// PartitionWindow. Windows may overlap; the latest heal time wins.
+	Partitions []PartitionWindow
+}
+
+// Delay draws one uniform per-message latency from the simulator's rng,
+// treating MaxDelay < MinDelay as a fixed MinDelay latency. Every substrate
+// draws its link latencies through this helper so fault plans that widen the
+// bounds reach all of them uniformly.
+func (cfg LinkConfig) Delay(s *Sim) Time {
+	delay := cfg.MinDelay
+	if span := cfg.MaxDelay - cfg.MinDelay; span > 0 {
+		delay += Time(s.rng.Int63n(int64(span) + 1))
+	}
+	return delay
+}
+
+// Release pushes a tentative arrival time past any partition window open at
+// send time: a message sent while the link is partitioned waits at the
+// sender until the window heals, then takes its drawn latency. If another
+// window is already open at the heal instant (chained or overlapping
+// partitions), the message keeps waiting.
+func (cfg LinkConfig) Release(sent, arrival Time) Time {
+	latency := arrival - sent
+	for {
+		heal := Time(-1)
+		for _, w := range cfg.Partitions {
+			if w.Contains(sent) && w.Until > heal {
+				heal = w.Until
+			}
+		}
+		if heal < 0 {
+			return sent + latency
+		}
+		sent = heal // strictly later: Contains(sent) implies sent < Until
+	}
+}
+
+// Arrival draws a latency and returns the partition-adjusted delivery time
+// for a message sent at the current simulator time.
+func (cfg LinkConfig) Arrival(s *Sim) Time {
+	sent := s.Now()
+	return cfg.Release(sent, sent+cfg.Delay(s))
 }
 
 // DefaultLAN mimics a low-latency datacenter link with mild reordering.
@@ -57,11 +112,9 @@ func (l *Link) Send(msg any) {
 }
 
 func (l *Link) scheduleDelivery(msg any, dup bool) {
-	delay := l.cfg.MinDelay
-	if span := l.cfg.MaxDelay - l.cfg.MinDelay; span > 0 {
-		delay += Time(l.sim.rng.Int63n(int64(span) + 1))
-	}
-	l.sim.After(delay, func() {
+	sent := l.sim.Now()
+	at := l.cfg.Release(sent, sent+l.cfg.Delay(l.sim))
+	l.sim.At(at, func() {
 		l.stats.Delivered++
 		if dup {
 			l.stats.Duplicate++

@@ -1,0 +1,203 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec fuzzes the hand-written YAML-subset parser with two
+// properties:
+//
+//  1. it never panics, whatever the input;
+//  2. valid inputs round-trip: a document that parses is rendered back to
+//     text by the test-only renderer below and re-parses to a deeply equal
+//     document (and, when it forms a valid Config, to an equal Config).
+//
+// The seed corpus under testdata/fuzz/FuzzParseSpec is augmented with the
+// real configuration files shipped in testdata/.
+func FuzzParseSpec(f *testing.F) {
+	for _, name := range []string{"wordcount.blazes", "adreport.blazes"} {
+		src, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("a: 1\nb:\n  - x\n  - {k: v, l: [1, 2]}\n")
+	f.Add("key: 'quoted # not comment'\nother: \"true\"\n")
+	f.Add("nested:\n  deep:\n    deeper: [a,\n      b]\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseDocument(src)
+		if err != nil {
+			return
+		}
+		rendered, ok := renderDocument(doc)
+		if !ok {
+			// The document contains scalars the plain renderer cannot
+			// express unambiguously (e.g. strings holding both quote
+			// kinds); round-tripping is not claimed for those.
+			return
+		}
+		back, err := ParseDocument(rendered)
+		if err != nil {
+			t.Fatalf("rendered document no longer parses: %v\ninput: %q\nrendered: %q", err, src, rendered)
+		}
+		if !reflect.DeepEqual(doc, back) {
+			t.Fatalf("document round trip mismatch\ninput: %q\nrendered: %q\n got: %#v\nwant: %#v",
+				src, rendered, back, doc)
+		}
+		// When the document is a valid Blazes config, the config itself
+		// must round-trip too.
+		cfg, err := Parse(src)
+		if err != nil {
+			return
+		}
+		cfg2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered config no longer parses: %v\nrendered: %q", err, rendered)
+		}
+		if !reflect.DeepEqual(cfg, cfg2) {
+			t.Fatalf("config round trip mismatch\ninput: %q\nrendered: %q", src, rendered)
+		}
+	})
+}
+
+// renderDocument renders a parsed document back to the YAML subset. It
+// reports false when a scalar cannot be rendered unambiguously.
+func renderDocument(m *Map) (string, bool) {
+	var b strings.Builder
+	if ok := renderMap(&b, m, 0); !ok {
+		return "", false
+	}
+	return b.String(), true
+}
+
+func renderMap(b *strings.Builder, m *Map, indent int) bool {
+	for _, key := range m.Keys() {
+		v, _ := m.Get(key)
+		if !renderableKey(key) {
+			return false
+		}
+		pad := strings.Repeat(" ", indent)
+		switch val := v.(type) {
+		case *Map:
+			fmt.Fprintf(b, "%s%s:\n", pad, key)
+			if val.Len() == 0 {
+				// An empty nested map renders as an empty scalar, which
+				// re-parses as "": only equal when it was one already.
+				return false
+			}
+			if !renderMap(b, val, indent+2) {
+				return false
+			}
+		case []Value:
+			if len(val) == 0 {
+				// A block list cannot express zero items; the inline
+				// form can.
+				fmt.Fprintf(b, "%s%s: []\n", pad, key)
+				continue
+			}
+			fmt.Fprintf(b, "%s%s:\n", pad, key)
+			for _, item := range val {
+				s, ok := renderInline(item)
+				if !ok {
+					return false
+				}
+				fmt.Fprintf(b, "%s  - %s\n", pad, s)
+			}
+		default:
+			s, ok := renderScalar(val)
+			if !ok {
+				return false
+			}
+			fmt.Fprintf(b, "%s%s: %s\n", pad, key, s)
+		}
+	}
+	return true
+}
+
+func renderInline(v Value) (string, bool) {
+	switch val := v.(type) {
+	case *Map:
+		parts := make([]string, 0, val.Len())
+		for _, key := range val.Keys() {
+			if !renderableKey(key) {
+				return "", false
+			}
+			inner, _ := val.Get(key)
+			s, ok := renderInline(inner)
+			if !ok {
+				return "", false
+			}
+			parts = append(parts, fmt.Sprintf("%s: %s", key, s))
+		}
+		return "{" + strings.Join(parts, ", ") + "}", true
+	case []Value:
+		parts := make([]string, 0, len(val))
+		for _, item := range val {
+			s, ok := renderInline(item)
+			if !ok {
+				return "", false
+			}
+			parts = append(parts, s)
+		}
+		return "[" + strings.Join(parts, ", ") + "]", true
+	default:
+		return renderScalar(val)
+	}
+}
+
+// renderScalar renders a bool or string scalar, quoting strings that would
+// otherwise re-parse as something else.
+func renderScalar(v Value) (string, bool) {
+	switch val := v.(type) {
+	case bool:
+		if val {
+			return "true", true
+		}
+		return "false", true
+	case string:
+		if val == "" {
+			return "''", true
+		}
+		plain := val
+		needsQuote := false
+		switch strings.ToLower(plain) {
+		case "true", "yes", "on", "false", "no", "off":
+			needsQuote = true
+		}
+		if strings.ContainsAny(plain, "{}[]'\",#:\n") ||
+			strings.TrimSpace(plain) != plain ||
+			strings.Contains(plain, "- ") || plain == "-" {
+			needsQuote = true
+		}
+		if !needsQuote {
+			return plain, true
+		}
+		if strings.ContainsRune(plain, '\n') {
+			return "", false // no escape syntax in the subset
+		}
+		if !strings.ContainsRune(plain, '\'') {
+			return "'" + plain + "'", true
+		}
+		if !strings.ContainsRune(plain, '"') {
+			return "\"" + plain + "\"", true
+		}
+		return "", false // holds both quote kinds: unrepresentable
+	default:
+		return "", false
+	}
+}
+
+// renderableKey: keys are emitted bare, so they must survive splitKey.
+func renderableKey(key string) bool {
+	if key == "" || strings.TrimSpace(key) != key {
+		return false
+	}
+	return !strings.ContainsAny(key, ":{}[]'\",#\n-")
+}

@@ -277,12 +277,8 @@ func (in *instance) applyCommit(b int64, bs *batchState) {
 		c.Commit(b)
 	}
 	// Ack travels back to the spout controller over the network.
-	delay := t.cfg.Link.MinDelay
-	if span := t.cfg.Link.MaxDelay - t.cfg.Link.MinDelay; span > 0 {
-		delay += sim.Time(t.sim.Rand().Int63n(int64(span) + 1))
-	}
 	idx := in.idx
-	t.sim.After(delay, func() { t.commitDone(b, idx) })
+	t.sim.At(t.cfg.Link.Arrival(t.sim), func() { t.commitDone(b, idx) })
 }
 
 // maybeResend re-sends this instance's stored output for a finished batch

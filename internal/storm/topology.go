@@ -397,16 +397,15 @@ func (t *Topology) sendBatch(b int64, attempt int) {
 
 // deliver schedules a message onto an instance after a network delay drawn
 // from the link configuration (independently per message, which is what
-// reorders them).
+// reorders them). A message is "sent" at notBefore (spout pacing offsets
+// schedule sends in the future); partition windows open at that instant
+// hold it at the sender until they heal.
 func (t *Topology) deliver(st *stage, idx int, m message, notBefore sim.Time) {
-	delay := t.cfg.Link.MinDelay
-	if span := t.cfg.Link.MaxDelay - t.cfg.Link.MinDelay; span > 0 {
-		delay += sim.Time(t.sim.Rand().Int63n(int64(span) + 1))
-	}
+	delay := t.cfg.Link.Delay(t.sim)
 	if t.cfg.Link.DropProb > 0 && t.sim.Rand().Float64() < t.cfg.Link.DropProb {
 		return
 	}
-	at := notBefore + delay
+	at := t.cfg.Link.Release(notBefore, notBefore+delay)
 	if now := t.sim.Now(); at < now {
 		at = now
 	}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench_diff.sh — smoke-run every benchmark once and diff ns/op against the
+# recorded baseline (BENCH_2.json).
+#
+# Usage:
+#   scripts/bench_diff.sh                     # threshold 3.0× vs BENCH_2.json
+#   BASELINE=BENCH_2.json THRESHOLD=2.5 scripts/bench_diff.sh
+#
+# Exits 1 when any benchmark is more than THRESHOLD× slower than its
+# baseline mean. Single-iteration numbers are noisy and CI hardware differs
+# from the baseline machine, so callers (the bench-smoke CI job) treat the
+# result as NON-BLOCKING: the point is to surface silent order-of-magnitude
+# rots, not to gate merges on microbenchmark jitter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${BASELINE:-BENCH_2.json}"
+THRESHOLD="${THRESHOLD:-3.0}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench . -benchtime 1x -benchmem -run '^$' ./... | tee "$RAW"
+
+awk -v baseline="$BASELINE" -v threshold="$THRESHOLD" '
+BEGIN {
+	# Parse the baseline: lines like
+	#   "BenchmarkFoo": {"ns_per_op": 123.4, ...},
+	while ((getline line < baseline) > 0) {
+		if (match(line, /"Benchmark[^"]*"/)) {
+			name = substr(line, RSTART + 1, RLENGTH - 2)
+			if (match(line, /"ns_per_op": [0-9.eE+-]+/)) {
+				val = substr(line, RSTART + 13, RLENGTH - 13)
+				base[name] = val + 0
+			}
+		}
+	}
+	close(baseline)
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") {
+			now[name] = $i + 0
+		}
+	}
+}
+END {
+	printf "\n%-40s %14s %14s %8s\n", "benchmark", "baseline ns/op", "smoke ns/op", "ratio"
+	worst = 0
+	for (name in now) {
+		if (!(name in base)) {
+			printf "%-40s %14s %14.0f %8s  (new: no baseline)\n", name, "-", now[name], "-"
+			continue
+		}
+		ratio = base[name] > 0 ? now[name] / base[name] : 0
+		flag = ""
+		if (ratio > threshold) { flag = "  <-- REGRESSION?"; bad++ }
+		printf "%-40s %14.0f %14.0f %7.2fx%s\n", name, base[name], now[name], ratio, flag
+		if (ratio > worst) worst = ratio
+	}
+	printf "\nthreshold %.2fx, worst ratio %.2fx\n", threshold, worst
+	if (bad > 0) {
+		printf "%d benchmark(s) exceeded the threshold (non-blocking; see scripts/bench_diff.sh)\n", bad
+		exit 1
+	}
+}' "$RAW"

@@ -1,0 +1,121 @@
+// Package verify is the public façade over the schedule-exploration
+// verification harness (internal/chaos): it proves, by adversarial
+// execution, the two-sided Blazes guarantee for a workload — programs the
+// analyzer certifies confluent converge without coordination on every
+// delivery schedule, and non-confluent programs coordinated with the
+// synthesized strategy (sealing or sequencing, installed on the
+// coordination substrates of internal/coord) are outcome-invariant, while
+// stripping that coordination reproduces the predicted divergence.
+//
+// A Check explores Seeds schedules per (mechanism, fault plan)
+// configuration; fault plans inject reordering, duplication, bounded extra
+// delay, and partition-then-heal on every simulated link. The result is a
+// machine-readable Report whose oracle verdicts classify disagreements
+// into the paper's anomaly classes (cross-run and cross-instance
+// nondeterminism, replica divergence).
+//
+//	rep, err := verify.Check(verify.Wordcount(), verify.Options{})
+//	if err != nil || !rep.Holds { ... }
+package verify
+
+import (
+	"encoding/json"
+
+	"blazes"
+	"blazes/internal/chaos"
+)
+
+// Workload is a runnable system under test: it exposes its annotated
+// dataflow for analysis and executes seeded runs under fault plans with a
+// chosen delivery mechanism installed.
+type Workload = chaos.Workload
+
+// Plan is one adversarial delivery configuration.
+type Plan = chaos.FaultPlan
+
+// Report is the outcome of one Check.
+type Report = chaos.Report
+
+// Sweep is the oracle verdict for one (mechanism, plan) configuration.
+type Sweep = chaos.Sweep
+
+// Anomalies records the observed anomaly classes of Figure 5.
+type Anomalies = chaos.Anomalies
+
+// DefaultSeeds is the schedule count explored per configuration when
+// Options.Seeds is zero.
+const DefaultSeeds = chaos.DefaultSeeds
+
+// DefaultPlans is the standard adversarial sweep: baseline jitter, heavy
+// reordering, at-least-once duplication, and a partition that heals
+// mid-run.
+func DefaultPlans() []Plan { return chaos.DefaultPlans() }
+
+// Options tunes a verification run.
+type Options struct {
+	// Seeds is the number of schedules explored per (mechanism, plan)
+	// configuration; 0 selects DefaultSeeds (64).
+	Seeds int
+	// Plans is the fault-plan sweep; nil selects DefaultPlans.
+	Plans []Plan
+	// PreferSequencing selects M1 (preordained total order) over M2
+	// dynamic ordering when synthesis must order inputs.
+	PreferSequencing bool
+}
+
+// Check verifies the Blazes guarantee for one workload; see the package
+// documentation. The returned Report's Holds field is the verdict.
+func Check(w Workload, opts Options) (*Report, error) {
+	return chaos.Check(w, chaos.Config{
+		Seeds:            opts.Seeds,
+		Plans:            opts.Plans,
+		PreferSequencing: opts.PreferSequencing,
+	})
+}
+
+// Wordcount is the paper's streaming wordcount on the simulated Storm
+// engine: sealing maps to punctuated batches with sealed commits,
+// sequencing to transactional commits, and stripping the coordination
+// reverts to timer-guessed batch boundaries.
+func Wordcount() Workload { return chaos.Wordcount() }
+
+// AdNetwork is the paper's full ad-tracking network (replicated Bloom
+// reporting servers, ad-server click plan, the Section VIII-B coordination
+// regimes) with the click source sealed per campaign.
+func AdNetwork() Workload { return chaos.AdNetwork() }
+
+// ReplicatedReport is the reporting-server Bloom module alone, replicated,
+// with annotations extracted by the white-box analyzer. The query selects
+// the variant: THRESH is confluent, POOR needs ordering, CAMPAIGN seals
+// per campaign.
+func ReplicatedReport(query blazes.AdQuery) Workload { return chaos.ReplicatedReport(query) }
+
+// SyntheticSet is the confluent Figure 5 component: a replicated grow-only
+// set.
+func SyntheticSet() Workload { return chaos.SyntheticSet() }
+
+// SyntheticChains is the order-sensitive Figure 5 component: replicated
+// per-producer hash chains; gated seals the source per producer (M3),
+// ungated forces ordering (M2/M1).
+func SyntheticChains(gated bool) Workload { return chaos.SyntheticChains(gated) }
+
+// Workloads returns the standard verification suite, covering the Storm,
+// Bloom, and synthetic substrates and every Figure 5 mechanism.
+func Workloads() []Workload {
+	return []Workload{
+		Wordcount(),
+		ReplicatedReport(blazes.THRESH),
+		ReplicatedReport(blazes.POOR),
+		ReplicatedReport(blazes.CAMPAIGN),
+		AdNetwork(),
+		SyntheticSet(),
+		SyntheticChains(true),
+		SyntheticChains(false),
+	}
+}
+
+// MarshalReports renders reports as indented JSON (a stable array, one
+// element per workload).
+func MarshalReports(reports []*Report) ([]byte, error) {
+	return json.MarshalIndent(reports, "", "  ")
+}

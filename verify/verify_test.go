@@ -1,0 +1,81 @@
+package verify_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"blazes"
+	"blazes/verify"
+)
+
+// TestPublicCheckWordcount drives the façade end to end on one workload
+// with a reduced sweep and checks the report is well-formed and holds.
+func TestPublicCheckWordcount(t *testing.T) {
+	rep, err := verify.Check(verify.Wordcount(), verify.Options{
+		Seeds: 8,
+		Plans: []verify.Plan{{Name: "baseline"}, {Name: "reorder", DelaySpread: 8000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("guarantee violated:\n%s", rep.Summary())
+	}
+	if rep.Workload != "wordcount-storm" {
+		t.Errorf("workload = %q", rep.Workload)
+	}
+	if len(rep.Coordinated) != 2 {
+		t.Errorf("coordinated sweeps = %d, want 2 (one per plan)", len(rep.Coordinated))
+	}
+}
+
+// TestWorkloadsSuiteShape: the standard suite names are stable (the CLI
+// selects workloads by these names).
+func TestWorkloadsSuiteShape(t *testing.T) {
+	var names []string
+	for _, w := range verify.Workloads() {
+		names = append(names, w.Name())
+	}
+	want := []string{
+		"wordcount-storm",
+		"bloom-report-THRESH",
+		"bloom-report-POOR",
+		"bloom-report-CAMPAIGN",
+		"adtrack-network",
+		"synthetic-set",
+		"synthetic-chains-gated",
+		"synthetic-chains",
+	}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("suite = %v, want %v", names, want)
+	}
+}
+
+// TestMarshalReportsRoundTrips: the JSON report carries the fields tools
+// depend on and survives a round trip.
+func TestMarshalReportsRoundTrips(t *testing.T) {
+	rep, err := verify.Check(verify.ReplicatedReport(blazes.POOR), verify.Options{
+		Seeds: 8,
+		Plans: []verify.Plan{{Name: "baseline"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := verify.MarshalReports([]*verify.Report{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []verify.Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Workload != rep.Workload || back[0].Holds != rep.Holds {
+		t.Errorf("round trip mangled the report: %s", out)
+	}
+	for _, key := range []string{`"workload"`, `"verdict"`, `"coordinated"`, `"divergence_reproduced"`, `"holds"`} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("JSON missing %s:\n%s", key, out)
+		}
+	}
+}
