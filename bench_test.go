@@ -7,6 +7,7 @@ package blazes
 // regeneration of the paper's data shapes.
 
 import (
+	"os"
 	"testing"
 
 	"blazes/internal/adtrack"
@@ -122,12 +123,21 @@ func BenchmarkWhiteBoxExtraction(b *testing.B) {
 
 // BenchmarkFig11WordcountThroughput regenerates a reduced Figure 11 sweep
 // and reports the sealed/transactional throughput ratio at both ends of the
-// cluster-size axis.
+// cluster-size axis. The sweep's four independent simulations run on one
+// worker per CPU (results are identical at any parallelism); setting
+// BLAZES_BENCH_QUICK=1 shrinks the sweep further for scripts/bench.sh
+// -quick (those numbers are a smoke signal, not comparable to the
+// baseline).
 func BenchmarkFig11WordcountThroughput(b *testing.B) {
 	cfg := experiments.DefaultFig11()
 	cfg.ClusterSizes = []int{5, 20}
 	cfg.Duration = 300 * sim.Millisecond
 	cfg.Runs = 1
+	cfg.Parallelism = -1 // one worker per CPU
+	if os.Getenv("BLAZES_BENCH_QUICK") != "" {
+		cfg.ClusterSizes = []int{5, 10}
+		cfg.Duration = 100 * sim.Millisecond
+	}
 	var first, last float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig11(cfg)
@@ -148,6 +158,7 @@ func benchAdFigure(b *testing.B, servers int, includeOrdered bool) {
 		fig, err := experiments.Fig12Or13(experiments.AdFigureConfig{
 			Seed: 1, AdServers: servers, EntriesPerServer: 100,
 			Sleep: 50 * sim.Millisecond, BatchSize: 10, IncludeOrdered: includeOrdered,
+			Parallelism: -1,
 		})
 		if err != nil {
 			b.Fatal(err)

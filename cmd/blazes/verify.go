@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	blazes verify [-workload name]... [-seeds n] [-sequencing] [-json]
+//	blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-json]
 //
 // Flags:
 //
@@ -14,6 +14,9 @@
 //	                  synthetic-chains-gated, synthetic-chains
 //	-seeds n          schedules explored per (mechanism, fault plan)
 //	                  configuration (default 64)
+//	-parallel n       worker count for exploring schedules concurrently;
+//	                  reports are byte-identical at any setting (0 = one
+//	                  worker per CPU, 1 = sequential)
 //	-sequencing       prefer M1 sequencing over M2 dynamic ordering
 //	-json             emit the reports as a JSON array
 //
@@ -36,13 +39,14 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		seeds      = fs.Int("seeds", verify.DefaultSeeds, "schedules per (mechanism, plan) configuration")
+		parallel   = fs.Int("parallel", 0, "schedule-sweep workers (0 = one per CPU, 1 = sequential; reports are byte-identical at any setting)")
 		sequencing = fs.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
 		jsonOut    = fs.Bool("json", false, "emit reports as a JSON array")
 		workloads  multiFlag
 	)
 	fs.Var(&workloads, "workload", "workload name (repeatable; default: the full suite)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: blazes verify [-workload name]... [-seeds n] [-sequencing] [-json]\n\n")
+		fmt.Fprintf(stderr, "usage: blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-json]\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, "\nworkloads: %s\n", strings.Join(workloadNames(), ", "))
 	}
@@ -59,6 +63,11 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	}
 	if *seeds <= 0 {
 		fmt.Fprintf(stderr, "blazes: verify: -seeds must be positive\n")
+		fs.Usage()
+		return exitUsage
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(stderr, "blazes: verify: -parallel must be non-negative\n")
 		fs.Usage()
 		return exitUsage
 	}
@@ -83,7 +92,11 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	opts := verify.Options{Seeds: *seeds, PreferSequencing: *sequencing}
+	parallelism := *parallel
+	if parallelism == 0 {
+		parallelism = -1 // one worker per CPU
+	}
+	opts := verify.Options{Seeds: *seeds, PreferSequencing: *sequencing, Parallelism: parallelism}
 	var reports []*verify.Report
 	holds := true
 	for _, w := range selected {

@@ -19,11 +19,16 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 5, 11, 12, 13, 14, or all")
-		quick = flag.Bool("quick", false, "reduced scale (faster, same shapes)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		fig      = flag.String("fig", "all", "figure to regenerate: 5, 11, 12, 13, 14, or all")
+		quick    = flag.Bool("quick", false, "reduced scale (faster, same shapes)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "workers for a figure's independent simulations (0 = one per CPU, 1 = sequential; figures are identical at any setting)")
 	)
 	flag.Parse()
+	parallelism := *parallel
+	if parallelism == 0 {
+		parallelism = -1 // one worker per CPU
+	}
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -52,6 +57,7 @@ func main() {
 	run("11", func() error {
 		cfg := experiments.DefaultFig11()
 		cfg.Seed = *seed
+		cfg.Parallelism = parallelism
 		if *quick {
 			cfg.Duration = 400 * experiments.Millisecond
 			cfg.Runs = 1
@@ -68,6 +74,7 @@ func main() {
 			f, err := experiments.Fig12Or13(experiments.AdFigureConfig{
 				Seed: *seed, AdServers: servers, EntriesPerServer: entries,
 				Sleep: sleep, BatchSize: batch, IncludeOrdered: includeOrdered,
+				Parallelism: parallelism,
 			})
 			if err != nil {
 				return err

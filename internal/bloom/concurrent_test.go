@@ -1,0 +1,114 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+
+	"blazes/internal/sim"
+)
+
+// replicaModule builds the shared module shape used by the concurrency
+// tests: a join over delivered edges with a grouped fanout.
+func replicaModule() *Module {
+	m := NewModule("rep")
+	m.Input("edges", "src", "dst")
+	m.Table("edge", "src", "dst")
+	m.Table("path", "src", "dst")
+	m.Scratch("fanout", "src", "cnt")
+	m.Rule("edge", Instant, Scan("edges"))
+	m.Rule("path", Instant, Scan("edge"))
+	m.Rule("path", Instant,
+		Project(
+			Join(Project(Scan("path"), Col("src"), ColAs("dst", "mid")), Scan("edge"), [2]string{"mid", "src"}),
+			Col("src"), Col("dst")))
+	m.Rule("fanout", Instant,
+		GroupBy(Scan("path"), []string{"src"}, Agg{Func: Count, As: "cnt"}))
+	return m
+}
+
+// driveReplica delivers a deterministic workload derived from the replica
+// index and ticks the node to quiescence, returning the final digest.
+func driveReplica(i int) (string, error) {
+	n, err := NewNode(fmt.Sprintf("rep%d", i), replicaModule())
+	if err != nil {
+		return "", err
+	}
+	for round := 0; round < 4; round++ {
+		for e := 0; e < 6; e++ {
+			src := S(fmt.Sprintf("n%d", (i+e)%5))
+			dst := S(fmt.Sprintf("n%d", (i+e+round)%5))
+			if err := n.Deliver("edges", Row{src, dst}); err != nil {
+				return "", err
+			}
+		}
+		if _, err := n.Tick(); err != nil {
+			return "", err
+		}
+	}
+	return n.Digest(), nil
+}
+
+// TestConcurrentTickAcrossReplicas pins the concurrency contract the
+// parallel runtime relies on: distinct nodes share no mutable state, so
+// constructing and ticking many replicas concurrently (run under -race in
+// CI) yields exactly the digests of the sequential run.
+func TestConcurrentTickAcrossReplicas(t *testing.T) {
+	const replicas = 16
+	want := make([]string, replicas)
+	for i := range want {
+		d, err := driveReplica(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = d
+	}
+	got := make([]string, replicas)
+	errs := make([]error, replicas)
+	sim.NewPool(8).Map(replicas, func(i int) {
+		got[i], errs[i] = driveReplica(i)
+	})
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("replica %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("replica %d: concurrent digest %q != sequential %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentNodesShareModule: several nodes instantiated concurrently
+// from one shared *Module (NewNode only reads it) behave identically.
+func TestConcurrentNodesShareModule(t *testing.T) {
+	mod := replicaModule()
+	const nodes = 8
+	digests := make([]string, nodes)
+	errs := make([]error, nodes)
+	sim.NewPool(4).Map(nodes, func(i int) {
+		n, err := NewNode(fmt.Sprintf("shared%d", i), mod)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if err := n.Deliver("edges", Row{S("a"), S("b")}, Row{S("b"), S("c")}); err != nil {
+			errs[i] = err
+			return
+		}
+		if _, err := n.Tick(); err != nil {
+			errs[i] = err
+			return
+		}
+		digests[i] = n.Digest()
+	})
+	for i := 1; i < nodes; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if digests[i] != digests[0] {
+			t.Fatalf("node %d digest %q != node 0 %q", i, digests[i], digests[0])
+		}
+	}
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+}

@@ -4,12 +4,18 @@ import (
 	"fmt"
 
 	"blazes/internal/dataflow"
+	"blazes/internal/sim"
 )
 
 // Workload is a runnable system under test: it exposes its annotated
 // dataflow for analysis and can execute one seeded run under a fault plan
 // with a chosen delivery mechanism installed (CoordNone strips all
 // coordination).
+//
+// Run must be safe for concurrent calls with distinct seeds: the parallel
+// sweep explores many seeded schedules at once, each on its own simulator.
+// Every built-in workload satisfies this by constructing all per-run state
+// inside Run.
 type Workload interface {
 	// Name identifies the workload in reports.
 	Name() string
@@ -21,6 +27,13 @@ type Workload interface {
 	Run(seed int64, plan FaultPlan, mech dataflow.Coordination) (Outcome, error)
 }
 
+// poolAware is implemented by workloads that can use a worker pool inside
+// one run (e.g. replica construction and quiescence digests); the harness
+// hands them the sweep's pool before running.
+type poolAware interface {
+	setPool(*sim.Pool)
+}
+
 // Config tunes a verification run.
 type Config struct {
 	// Seeds is the number of schedules explored per (mechanism, plan)
@@ -30,6 +43,12 @@ type Config struct {
 	Plans []FaultPlan
 	// PreferSequencing selects M1 over M2 when synthesis must order.
 	PreferSequencing bool
+	// Parallelism is the worker count for exploring seeded schedules
+	// concurrently. Each seed runs on its own simulator and the oracle
+	// folds outcomes in seed order, so the verdict — anomalies, details,
+	// JSON report — is byte-identical to a sequential sweep. 0 or 1 keeps
+	// the sweep sequential; < 0 selects GOMAXPROCS.
+	Parallelism int
 }
 
 // DefaultSeeds is the schedule count the acceptance bar demands per
@@ -91,15 +110,22 @@ func allowedAnomalies(mech dataflow.Coordination) Anomalies {
 	return Anomalies{}
 }
 
-// sweep explores cfg.Seeds schedules of one (mechanism, plan) cell.
-func sweep(w Workload, cfg Config, plan FaultPlan, mech dataflow.Coordination, confluent bool) (Sweep, error) {
+// sweep explores cfg.Seeds schedules of one (mechanism, plan) cell. With a
+// pool, the seeded runs — each on its own simulator — execute concurrently;
+// the oracle then folds the outcomes in seed order, so the verdict is
+// byte-identical to the sequential sweep.
+func sweep(w Workload, cfg Config, pool *sim.Pool, plan FaultPlan, mech dataflow.Coordination, confluent bool) (Sweep, error) {
+	outcomes := make([]Outcome, cfg.Seeds)
+	errs := make([]error, cfg.Seeds)
+	pool.Map(cfg.Seeds, func(i int) {
+		outcomes[i], errs[i] = w.Run(int64(i+1), plan, mech)
+	})
 	oracle := NewOracle(confluent)
-	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
-		out, err := w.Run(seed, plan, mech)
-		if err != nil {
-			return Sweep{}, fmt.Errorf("chaos: %s under %s/%s seed %d: %w", w.Name(), mech, plan.Name, seed, err)
+	for i, out := range outcomes {
+		if errs[i] != nil {
+			return Sweep{}, fmt.Errorf("chaos: %s under %s/%s seed %d: %w", w.Name(), mech, plan.Name, i+1, errs[i])
 		}
-		oracle.Observe(seed, out)
+		oracle.Observe(int64(i+1), out)
 	}
 	s := Sweep{
 		Mechanism: mech.String(),
@@ -132,6 +158,13 @@ func Check(w Workload, cfg Config) (*Report, error) {
 	}
 	if cfg.Plans == nil {
 		cfg.Plans = DefaultPlans()
+	}
+	var pool *sim.Pool
+	if cfg.Parallelism != 0 && cfg.Parallelism != 1 {
+		pool = sim.NewPool(cfg.Parallelism)
+	}
+	if pa, ok := w.(poolAware); ok {
+		pa.setPool(pool)
 	}
 	g, err := w.Graph()
 	if err != nil {
@@ -178,7 +211,7 @@ func Check(w Workload, cfg Config) (*Report, error) {
 
 	for _, mech := range mechs {
 		for _, plan := range cfg.Plans {
-			s, err := sweep(w, cfg, plan, mech, bare)
+			s, err := sweep(w, cfg, pool, plan, mech, bare)
 			if err != nil {
 				return nil, err
 			}
@@ -193,7 +226,7 @@ func Check(w Workload, cfg Config) (*Report, error) {
 		rep.DivergenceReproduced = true
 	} else {
 		for _, plan := range cfg.Plans {
-			s, err := sweep(w, cfg, plan, dataflow.CoordNone, false)
+			s, err := sweep(w, cfg, pool, plan, dataflow.CoordNone, false)
 			if err != nil {
 				return nil, err
 			}

@@ -36,6 +36,12 @@ type Fig11Config struct {
 	// Runs averages each cell over this many seeds (the paper averages
 	// three runs); 0 means 1.
 	Runs int
+	// Parallelism is the worker count for running the sweep's independent
+	// simulations (cluster size × commit mode × seed) concurrently. Each
+	// simulation owns its seeded simulator and results aggregate in a
+	// fixed order, so the rows are identical at any setting. 0 or 1 keeps
+	// the sweep sequential; < 0 selects GOMAXPROCS.
+	Parallelism int
 }
 
 // DefaultFig11 mirrors the paper's sweep (5–20 worker nodes).
@@ -75,55 +81,86 @@ func engineForFig11() storm.Config {
 
 // Fig11 runs the throughput sweep: each regime processes a saturating
 // offered load for the measurement window; throughput is committed input
-// tuples per second.
+// tuples per second. The sweep's cells — every (cluster size, commit mode,
+// seed) simulation — are independent, so with Parallelism > 1 they run
+// concurrently on a worker pool and aggregate in cell order: the rows are
+// identical to a sequential sweep.
 func Fig11(cfg Fig11Config) ([]Fig11Row, error) {
-	var rows []Fig11Row
-	for _, w := range cfg.ClusterSizes {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	modes := []storm.CommitMode{storm.CommitSealed, storm.CommitTransactional}
+
+	// Enumerate the independent simulations.
+	type cell struct {
+		size int // index into ClusterSizes
+		mode storm.CommitMode
+		run  int
+	}
+	var cells []cell
+	for si := range cfg.ClusterSizes {
+		for _, mode := range modes {
+			for r := 0; r < runs; r++ {
+				cells = append(cells, cell{size: si, mode: mode, run: r})
+			}
+		}
+	}
+
+	tputs := make([]float64, len(cells))
+	errs := make([]error, len(cells))
+	pool := sim.NewPool(1)
+	if cfg.Parallelism != 0 && cfg.Parallelism != 1 {
+		pool = sim.NewPool(cfg.Parallelism)
+	}
+	pool.Map(len(cells), func(i int) {
+		c := cells[i]
+		w := cfg.ClusterSizes[c.size]
 		engine := engineForFig11()
 		// Enough batches to outlast the window at the offered rate.
 		batches := int64(cfg.Duration/engine.BatchInterval) + 8
-		base := wc.RunConfig{
-			Seed:           cfg.Seed,
+		rc := wc.RunConfig{
+			Seed:           cfg.Seed + int64(c.run)*1000,
 			Workers:        w,
 			Batches:        batches,
 			TuplesPerBatch: cfg.TuplesPerBatch,
 			WordsPerTweet:  cfg.WordsPerTweet,
 			VocabSize:      40 * w, // balanced hash partitioning at every size
+			Mode:           c.mode,
 			Punctuate:      true,
 			Engine:         &engine,
 			Deadline:       cfg.Duration,
 		}
-		runs := cfg.Runs
-		if runs <= 0 {
-			runs = 1
+		res, err := wc.Run(rc)
+		if err != nil {
+			errs[i] = fmt.Errorf("fig11: %s w=%d: %w", c.mode, w, err)
+			return
 		}
-		tput := func(mode storm.CommitMode) (float64, error) {
-			total := 0.0
-			for r := 0; r < runs; r++ {
-				rc := base
-				rc.Mode = mode
-				rc.Seed = cfg.Seed + int64(r)*1000
-				res, err := wc.Run(rc)
-				if err != nil {
-					return 0, fmt.Errorf("fig11: %s w=%d: %w", mode, w, err)
-				}
-				acked := float64(res.Metrics.AckedBatches) * float64(cfg.TuplesPerBatch) * float64(w)
-				total += acked / cfg.Duration.Seconds()
-			}
-			return total / float64(runs), nil
+		acked := float64(res.Metrics.AckedBatches) * float64(cfg.TuplesPerBatch) * float64(w)
+		tputs[i] = acked / cfg.Duration.Seconds()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
+	}
 
-		sealed, err := tput(storm.CommitSealed)
-		if err != nil {
-			return nil, err
+	// Aggregate cells into rows in sweep order.
+	var rows []Fig11Row
+	for si, w := range cfg.ClusterSizes {
+		byMode := map[storm.CommitMode]float64{}
+		for i, c := range cells {
+			if c.size == si {
+				byMode[c.mode] += tputs[i]
+			}
 		}
-		tx, err := tput(storm.CommitTransactional)
-		if err != nil {
-			return nil, err
+		row := Fig11Row{
+			Workers:       w,
+			Sealed:        byMode[storm.CommitSealed] / float64(runs),
+			Transactional: byMode[storm.CommitTransactional] / float64(runs),
 		}
-		row := Fig11Row{Workers: w, Transactional: tx, Sealed: sealed}
-		if tx > 0 {
-			row.Ratio = sealed / tx
+		if row.Transactional > 0 {
+			row.Ratio = row.Sealed / row.Transactional
 		}
 		rows = append(rows, row)
 	}

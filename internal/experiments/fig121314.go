@@ -43,6 +43,11 @@ type AdFigureConfig struct {
 	// IncludeOrdered adds the "Ordered" curve (Figures 12/13 include it;
 	// Figure 14 omits it to highlight the seal variants).
 	IncludeOrdered bool
+	// Parallelism runs the figure's independent curves (one simulated
+	// deployment per coordination regime) concurrently; curves collect in
+	// regime order, so the figure is identical at any setting. 0 or 1 is
+	// sequential; < 0 selects GOMAXPROCS.
+	Parallelism int
 }
 
 // Fig12Or13 runs the four curves of Figure 12 (5 ad servers) or Figure 13
@@ -65,10 +70,20 @@ func Fig12Or13(cfg AdFigureConfig) (*AdFigure, error) {
 		{"Independent Seal", adtrack.Sealed, true, true},
 		{"Seal", adtrack.Sealed, false, true},
 	}
+	var included []variant
 	for _, v := range variants {
-		if !v.include {
-			continue
+		if v.include {
+			included = append(included, v)
 		}
+	}
+	results := make([]*adtrack.Result, len(included))
+	errs := make([]error, len(included))
+	pool := sim.NewPool(1)
+	if cfg.Parallelism != 0 && cfg.Parallelism != 1 {
+		pool = sim.NewPool(cfg.Parallelism)
+	}
+	pool.Map(len(included), func(i int) {
+		v := included[i]
 		rc := adtrack.DefaultConfig(cfg.AdServers, v.regime, v.independent)
 		rc.Seed = cfg.Seed
 		rc.Workload.EntriesPerServer = cfg.EntriesPerServer
@@ -78,10 +93,13 @@ func Fig12Or13(cfg AdFigureConfig) (*AdFigure, error) {
 		if cfg.BatchSize > 0 {
 			rc.Workload.BatchSize = cfg.BatchSize
 		}
-		res, err := adtrack.Run(rc)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.label, err)
+		results[i], errs[i] = adtrack.Run(rc)
+	})
+	for i, v := range included {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s: %w", v.label, errs[i])
 		}
+		res := results[i]
 		fig.Curves = append(fig.Curves, AdSeries{
 			Label:         v.label,
 			Series:        res.Series,

@@ -5,10 +5,19 @@
 // the same (seed, configuration) pair always yields the same schedule, and
 // different seeds explore different delivery orders. This substitutes for
 // the paper's EC2 testbed; see DESIGN.md §2.
+//
+// The scheduler is single-threaded by default. Attaching a Pool (SetPool)
+// enables the deterministic parallel runtime: events registered with
+// AtCompute carry a partition key and split into a pure compute phase and a
+// sequential apply phase. Compute phases of events that share a virtual
+// instant but touch distinct partitions run concurrently on the pool; the
+// merge barrier then executes every apply in exact (time, seq) schedule
+// order on the scheduler goroutine, where all random draws happen. The
+// schedule — every event execution, every RNG draw — is therefore
+// byte-identical to the sequential run. See DESIGN.md "Parallel execution".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -31,32 +40,104 @@ func (t Time) String() string {
 // Seconds converts virtual time to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// Partition identifies an isolated unit of simulated state — a site or
+// operator instance. Compute phases of same-instant events with distinct
+// partitions may run concurrently; events sharing a partition never do.
+type Partition int32
+
 type event struct {
 	at  Time
 	seq uint64 // FIFO tie-break for events at the same instant
 	fn  func()
+	// compute, when non-nil, marks a two-phase event: compute runs first
+	// (possibly on a worker, never touching the Sim) and returns the apply
+	// to run on the scheduler goroutine; fn is nil for such events. key is
+	// its partition.
+	compute func() func()
+	key     Partition
 }
 
+// eventHeap is a hand-specialized 4-ary min-heap ordered by (at, seq).
+// container/heap is deliberately not used: its interface methods box every
+// pushed and popped event (two heap allocations per scheduled event), which
+// at tens of millions of events per run dominated the allocation profile.
+// The 4-ary layout halves the tree depth of a binary heap; with hundreds of
+// thousands of in-flight deliveries the sift paths are the scheduler's
+// hottest loop. The (at, seq) order is a strict total order (seq is unique),
+// so the pop sequence — and therefore the schedule — is independent of the
+// heap's internal arrangement.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// Sim is a single-threaded discrete-event scheduler.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release closure references for the GC
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(c, min) {
+				min = c
+			}
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// Sim is a deterministic discrete-event scheduler.
 type Sim struct {
 	now    Time
 	events eventHeap
 	rng    *rand.Rand
 	seq    uint64
 	steps  uint64
+	pool   *Pool
+	// window, windowKeys, and windowApplies are scratch space for the
+	// parallel scheduler's same-instant event batches, reused across
+	// steps so window formation allocates nothing.
+	window        []event
+	windowKeys    partitionSet
+	windowApplies []func()
 }
 
 // New creates a simulator whose nondeterministic choices are driven by the
@@ -69,8 +150,17 @@ func New(seed int64) *Sim {
 func (s *Sim) Now() Time { return s.now }
 
 // Rand exposes the simulator's seeded random source. All randomness in a
-// simulation must flow through it to preserve determinism.
+// simulation must flow through it, and only from event apply phases (or
+// plain events) — never from a compute phase — to preserve determinism.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetPool attaches a worker pool, enabling parallel execution of
+// same-instant compute phases. A nil pool (or one of size ≤ 1) keeps the
+// scheduler fully sequential. The schedule is identical either way.
+func (s *Sim) SetPool(p *Pool) { s.pool = p }
+
+// Pool returns the attached worker pool (nil when sequential).
+func (s *Sim) Pool() *Pool { return s.pool }
 
 // At schedules fn at absolute virtual time t (clamped to now).
 func (s *Sim) At(t Time, fn func()) {
@@ -78,26 +168,123 @@ func (s *Sim) At(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// AtCompute schedules a two-phase event at absolute virtual time t (clamped
+// to now): compute runs first and returns the apply to run afterwards.
+//
+// The contract that makes parallel execution deterministic:
+//
+//   - compute must not touch the Sim — no scheduling, no Rand draws, no
+//     Now. It may read and write only state belonging to partition key.
+//   - the returned apply runs on the scheduler goroutine in exact schedule
+//     order and may do anything a plain event may.
+//
+// Without a pool the two phases run back-to-back, exactly like At.
+func (s *Sim) AtCompute(t Time, key Partition, compute func() func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.events.push(event{at: t, seq: s.seq, compute: compute, key: key})
 }
 
 // After schedules fn d after the current time.
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
-// Step runs the next event; it reports false when no events remain.
+// runEvent executes one popped event sequentially.
+func (s *Sim) runEvent(e event) {
+	s.now = e.at
+	s.steps++
+	if e.compute != nil {
+		e.compute()()
+		return
+	}
+	e.fn()
+}
+
+// Step runs the next event; it reports false when no events remain. Step is
+// always sequential; parallel windows form only inside Run and RunUntil.
 func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
-	s.now = e.at
-	s.steps++
-	e.fn()
+	s.runEvent(s.events.pop())
 	return true
 }
 
+// stepWindow pops and executes the next batch of events. With a pool
+// attached it collects the maximal run of two-phase events that (a) share
+// the next virtual instant and (b) carry pairwise-distinct partition keys,
+// runs their compute phases concurrently, then applies them in (at, seq)
+// order. Any apply may schedule new events; those necessarily carry larger
+// seq values (and times ≥ the instant), so they order strictly after every
+// event of the window — the interleaving is exactly the sequential one.
+func (s *Sim) stepWindow() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	h := &s.events
+	if (*h)[0].compute == nil {
+		s.runEvent(h.pop())
+		return true
+	}
+	at := (*h)[0].at
+	s.window = s.window[:0]
+	s.windowKeys.reset()
+	for len(*h) > 0 && (*h)[0].at == at && (*h)[0].compute != nil && !s.windowKeys.has((*h)[0].key) {
+		s.windowKeys.add((*h)[0].key)
+		s.window = append(s.window, h.pop())
+	}
+	w := s.window
+	if len(w) > 1 {
+		// Merge barrier: all computes finish before the first apply runs.
+		if cap(s.windowApplies) < len(w) {
+			s.windowApplies = make([]func(), len(w))
+		}
+		applies := s.windowApplies[:len(w)]
+		s.pool.Map(len(w), func(i int) { applies[i] = w[i].compute() })
+		for i := range w {
+			s.now = w[i].at
+			s.steps++
+			applies[i]()
+			applies[i] = nil // release for the GC
+		}
+		return true
+	}
+	s.runEvent(w[0])
+	return true
+}
+
+// partitionSet tracks the distinct keys of one window. Windows are small
+// (bounded by the partition count of one instant), so a linear scan over a
+// small slice beats a map.
+type partitionSet struct{ keys []Partition }
+
+func (p *partitionSet) has(k Partition) bool {
+	for _, have := range p.keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *partitionSet) add(k Partition) { p.keys = append(p.keys, k) }
+
+func (p *partitionSet) reset() { p.keys = p.keys[:0] }
+
+// parallel reports whether the parallel scheduler is active.
+func (s *Sim) parallel() bool { return s.pool != nil && s.pool.Size() > 1 }
+
 // Run executes events until none remain.
 func (s *Sim) Run() {
+	if s.parallel() {
+		for s.stepWindow() {
+		}
+		return
+	}
 	for s.Step() {
 	}
 }
@@ -106,8 +293,14 @@ func (s *Sim) Run() {
 // deadline (or later if an executed event scheduled exactly at it advanced
 // time further).
 func (s *Sim) RunUntil(deadline Time) {
-	for len(s.events) > 0 && s.events[0].at <= deadline {
-		s.Step()
+	if s.parallel() {
+		for len(s.events) > 0 && s.events[0].at <= deadline {
+			s.stepWindow()
+		}
+	} else {
+		for len(s.events) > 0 && s.events[0].at <= deadline {
+			s.Step()
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline

@@ -1,7 +1,5 @@
 package storm
 
-import "hash/fnv"
-
 // Emitter receives tuples produced by a bolt or spout.
 type Emitter func(Tuple)
 
@@ -13,6 +11,12 @@ type Emitter func(Tuple)
 // Bolts are deterministic: identical inputs in identical order produce
 // identical outputs (Section II). Order-sensitivity enters through the
 // network, not the operator.
+//
+// In parallel mode each instance is one partition of the deterministic
+// scheduler: Execute/FinishBatch may run on a worker goroutine, but never
+// concurrently for the same instance, and emitted tuples are routed on the
+// scheduler goroutine in schedule order. A bolt instance must therefore not
+// share mutable state with other instances.
 type Bolt interface {
 	Execute(t Tuple, emit Emitter)
 	FinishBatch(batch int64, emit Emitter)
@@ -21,6 +25,11 @@ type Bolt interface {
 // Spout produces the input stream in numbered batches. Each spout instance
 // is asked for its share of every batch; ok=false marks the end of the
 // stream for that instance.
+//
+// In parallel mode NextBatch may be called concurrently for *different*
+// instances of the same batch; implementations must not share unsynchronized
+// mutable state across instances (the synthetic spouts are pure functions of
+// (instance, batch)).
 type Spout interface {
 	NextBatch(instance int, batch int64) (tuples []Values, ok bool)
 }
@@ -28,9 +37,11 @@ type Spout interface {
 // Grouping routes a tuple emitted by a producer to one or more consumer
 // instances.
 type Grouping interface {
-	// Route returns the consumer instance indexes (out of n) that must
-	// receive the tuple. rand is a deterministic PRNG draw in [0, 1<<63).
-	Route(t Tuple, n int, rand int64) []int
+	// Route appends to buf and returns the consumer instance indexes (out
+	// of n) that must receive the tuple. rand is a deterministic PRNG draw
+	// in [0, 1<<63). Callers pass a reusable buffer (typically buf[:0]) so
+	// routing allocates nothing on the hot path.
+	Route(t Tuple, n int, rand int64, buf []int) []int
 }
 
 // ShuffleGrouping sends each tuple to a uniformly random consumer instance —
@@ -38,8 +49,8 @@ type Grouping interface {
 type ShuffleGrouping struct{}
 
 // Route implements Grouping.
-func (ShuffleGrouping) Route(_ Tuple, n int, rand int64) []int {
-	return []int{int(rand % int64(n))}
+func (ShuffleGrouping) Route(_ Tuple, n int, rand int64, buf []int) []int {
+	return append(buf, int(rand%int64(n)))
 }
 
 // FieldsGrouping hash-partitions on selected fields — used between Splitter
@@ -49,16 +60,28 @@ type FieldsGrouping struct {
 	Fields []int
 }
 
+// fnv64 constants (FNV-1a), inlined so routing does not allocate a hasher.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Route implements Grouping.
-func (g FieldsGrouping) Route(t Tuple, n int, _ int64) []int {
-	h := fnv.New64a()
+func (g FieldsGrouping) Route(t Tuple, n int, _ int64, buf []int) []int {
+	h := uint64(fnvOffset64)
 	for _, f := range g.Fields {
 		if f < len(t.Values) {
-			h.Write([]byte(t.Values[f]))
-			h.Write([]byte{0})
+			v := t.Values[f]
+			for i := 0; i < len(v); i++ {
+				h ^= uint64(v[i])
+				h *= fnvPrime64
+			}
+			// NUL field separator, as the previous hasher-based version
+			// wrote it (h ^= 0 is a no-op).
+			h *= fnvPrime64
 		}
 	}
-	return []int{int(mix64(h.Sum64()) % uint64(n))}
+	return append(buf, int(mix64(h)%uint64(n)))
 }
 
 // mix64 is the splitmix64 finalizer: FNV alone has poor low-bit avalanche
@@ -77,16 +100,17 @@ func mix64(s uint64) uint64 {
 type AllGrouping struct{}
 
 // Route implements Grouping.
-func (AllGrouping) Route(_ Tuple, n int, _ int64) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
+func (AllGrouping) Route(_ Tuple, n int, _ int64, buf []int) []int {
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
 	}
-	return out
+	return buf
 }
 
 // GlobalGrouping routes every tuple to instance 0.
 type GlobalGrouping struct{}
 
 // Route implements Grouping.
-func (GlobalGrouping) Route(Tuple, int, int64) []int { return []int{0} }
+func (GlobalGrouping) Route(_ Tuple, _ int, _ int64, buf []int) []int {
+	return append(buf, 0)
+}

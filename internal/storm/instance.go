@@ -1,39 +1,13 @@
 package storm
 
 import (
+	"fmt"
+
 	"blazes/internal/sim"
 )
 
 // debugStragglers enables straggler diagnostics during development.
 var debugStragglers = false
-
-func fmtIntMap(m map[int]int) string {
-	s := "{"
-	for k, v := range m {
-		s += " "
-		s += itoa(k) + ":" + itoa(v)
-	}
-	return s + " }"
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	neg := v < 0
-	if neg {
-		v = -v
-	}
-	var b []byte
-	for v > 0 {
-		b = append([]byte{byte('0' + v%10)}, b...)
-		v /= 10
-	}
-	if neg {
-		return "-" + string(b)
-	}
-	return string(b)
-}
 
 // Committer is implemented by bolts whose FinishBatch output must be applied
 // durably at commit time (e.g. a backing-store writer). The engine calls
@@ -44,21 +18,55 @@ type Committer interface {
 }
 
 // instance is one physical task of a bolt stage: a serial executor fed by
-// reordering network links.
+// reordering network links. Each instance is one partition of the
+// deterministic scheduler (key): its bolt code may run on a worker
+// goroutine, but never concurrently with other work of the same instance,
+// and everything that touches the simulator — routing draws, delivery
+// scheduling, batch bookkeeping — runs in the apply phase on the scheduler
+// goroutine.
 type instance struct {
 	st   *stage
 	idx  int
+	key  sim.Partition
 	bolt Bolt
 
 	busyUntil sim.Time
-	seen      map[string]bool
 	batches   map[int64]*batchState
+	// emitBuf collects a compute phase's emissions for routing in the apply
+	// phase. Reused across events: windows guarantee at most one in-flight
+	// compute per instance.
+	emitBuf []Tuple
+	// queue holds tuples awaiting their execution event, in busy-time
+	// order. Execution events of one instance fire in exactly the order
+	// they were scheduled (busyUntil strictly increases), so a FIFO matches
+	// the schedule — and lets every execution share the two prebuilt
+	// closures below instead of allocating one per tuple.
+	queue    []execItem
+	queueOff int
+	// pendingBatch/pendingBS carry the in-flight two-phase event's batch
+	// from its compute to its matching apply (same serialization guarantee
+	// as emitBuf).
+	pendingBatch int64
+	pendingBS    *batchState
+	execCompute  func() func()
+	execApply    func()
+	collect      Emitter
+	finishApply  func()
+}
+
+// execItem is one queued tuple execution.
+type execItem struct {
+	tuple Tuple
+	bs    *batchState
 }
 
 type batchState struct {
-	recvFrom map[int]int  // upstream instance → deduped data tuples received
-	expected map[int]int  // upstream instance → announced count
-	endFrom  map[int]bool // upstream instance → punctuation arrived
+	recvFrom []int  // upstream instance → deduped data tuples received
+	expected []int  // upstream instance → announced count
+	endFrom  []bool // upstream instance → punctuation arrived
+	// seen is a per-upstream-instance bitset over emission sequence
+	// numbers: the dedup state that used to be a map of formatted strings.
+	seen     [][]uint64
 	finished bool
 	// finishDone is set once the scheduled finish event has actually run
 	// (FinishBatch executed, punctuations sent). Resends must wait for it:
@@ -67,15 +75,36 @@ type batchState struct {
 	finishDone bool
 	// flushScheduled marks the timer-based (unpunctuated) completion path.
 	flushScheduled bool
-	// outbox stores routed emissions for replay resend.
+	// outbox stores routed emissions for replay resend; only populated when
+	// the topology can actually observe a resend trigger (replay or
+	// duplicate delivery enabled), since it retains every emitted message.
 	outbox []outMsg
-	// counts tracks per-downstream-stage, per-target emitted counts.
-	counts map[string][]int
+	// counts tracks per-downstream-stage (by position), per-target emitted
+	// counts.
+	counts [][]int
 	// lastAttempt is the highest replay attempt this instance forwarded.
-	lastAttempt int
-	emitSeq     int
+	lastAttempt int32
+	emitSeq     int32
 	readySent   bool
 	committed   bool
+}
+
+// isSeen reports whether (from, seq) was already processed.
+func (bs *batchState) isSeen(from, seq int32) bool {
+	bits := bs.seen[from]
+	word := int(seq) / 64
+	return word < len(bits) && bits[word]&(1<<(uint(seq)%64)) != 0
+}
+
+// markSeen records (from, seq) as processed.
+func (bs *batchState) markSeen(from, seq int32) {
+	bits := bs.seen[from]
+	word := int(seq) / 64
+	for word >= len(bits) {
+		bits = append(bits, 0)
+	}
+	bits[word] |= 1 << (uint(seq) % 64)
+	bs.seen[from] = bits
 }
 
 type outMsg struct {
@@ -84,24 +113,64 @@ type outMsg struct {
 	m      message
 }
 
-func newInstance(st *stage, idx int) *instance {
-	return &instance{
+func newInstance(st *stage, idx int, key sim.Partition) *instance {
+	in := &instance{
 		st:      st,
 		idx:     idx,
+		key:     key,
 		bolt:    st.factory(idx),
-		seen:    map[string]bool{},
 		batches: map[int64]*batchState{},
 	}
+	in.collect = func(out Tuple) {
+		out.Batch = in.pendingBatch
+		in.emitBuf = append(in.emitBuf, out)
+	}
+	in.execCompute = func() func() {
+		it := in.queue[in.queueOff]
+		in.queue[in.queueOff] = execItem{}
+		in.queueOff++
+		if in.queueOff == len(in.queue) {
+			in.queue = in.queue[:0]
+			in.queueOff = 0
+		}
+		in.pendingBatch, in.pendingBS = it.tuple.Batch, it.bs
+		in.emitBuf = in.emitBuf[:0]
+		in.bolt.Execute(it.tuple, in.collect)
+		return in.execApply
+	}
+	in.execApply = func() {
+		b, bs := in.pendingBatch, in.pendingBS
+		for _, out := range in.emitBuf {
+			in.emit(b, bs, out)
+		}
+		in.tryFinish(b, bs)
+	}
+	in.finishApply = func() {
+		t := in.st.topo
+		b, bs := in.pendingBatch, in.pendingBS
+		defer func() { bs.finishDone = true }()
+		for _, out := range in.emitBuf {
+			in.emit(b, bs, out)
+		}
+		if t.cfg.Punctuate {
+			in.sendPunctuations(b, bs, bs.lastAttempt)
+		}
+		if in.st.committer {
+			in.enterCommit(b, bs)
+		}
+	}
+	return in
 }
 
 func (in *instance) batch(b int64) *batchState {
 	bs, ok := in.batches[b]
 	if !ok {
+		n := in.st.upstreamN
 		bs = &batchState{
-			recvFrom: map[int]int{},
-			expected: map[int]int{},
-			endFrom:  map[int]bool{},
-			counts:   map[string][]int{},
+			recvFrom: make([]int, n),
+			expected: make([]int, n),
+			endFrom:  make([]bool, n),
+			seen:     make([][]uint64, n),
 		}
 		in.batches[b] = bs
 	}
@@ -111,22 +180,22 @@ func (in *instance) batch(b int64) *batchState {
 // receive handles one network message.
 func (in *instance) receive(m message) {
 	t := in.st.topo
-	bs := in.batch(m.batch)
+	bs := in.batch(m.batchID())
 
 	if m.batchEnd {
 		if bs.finished {
-			in.maybeResend(m.batch, bs, m.attempt)
+			in.maybeResend(m.batchID(), bs, m.attempt)
 			return
 		}
 		bs.endFrom[m.from] = true
 		bs.expected[m.from] = m.count
-		in.tryFinish(m.batch, bs)
+		in.tryFinish(m.batchID(), bs)
 		return
 	}
 
-	if in.seen[m.id] {
+	if bs.isSeen(m.from, m.seq) {
 		if bs.finished {
-			in.maybeResend(m.batch, bs, m.attempt)
+			in.maybeResend(m.batchID(), bs, m.attempt)
 		}
 		return
 	}
@@ -135,11 +204,12 @@ func (in *instance) receive(m message) {
 		// data loss under the anomalous configuration.
 		t.metrics.Stragglers++
 		if debugStragglers {
-			println("straggler:", in.st.name, in.idx, "batch", int(m.batch), "id", m.id, "attempt", m.attempt)
+			println("straggler:", in.st.name, in.idx, "batch", int(m.batchID()),
+				"from", int(m.from), "seq", int(m.seq), "attempt", int(m.attempt))
 		}
 		return
 	}
-	in.seen[m.id] = true
+	bs.markSeen(m.from, m.seq)
 	bs.recvFrom[m.from]++
 
 	execAt := in.busyUntil
@@ -148,36 +218,43 @@ func (in *instance) receive(m message) {
 	}
 	execAt += t.cfg.PerTupleCost
 	in.busyUntil = execAt
-	tuple := m.tuple
-	batch := m.batch
-	t.sim.At(execAt, func() {
-		in.bolt.Execute(tuple, func(out Tuple) {
-			out.Batch = batch
-			in.emit(batch, bs, out)
-		})
-		in.tryFinish(batch, bs)
-	})
+	// Two-phase execution: the bolt runs in the compute phase (worker-safe,
+	// partition = this instance, emissions buffered), while routing — which
+	// draws from the shared rng — happens in the prebuilt apply on the
+	// scheduler goroutine, in schedule order. One instance's execution
+	// events fire in scheduling order (busyUntil strictly increases), so
+	// the queued tuple and the prebuilt closures replace the per-tuple
+	// closure allocations this path used to make.
+	in.queue = append(in.queue, execItem{tuple: m.tuple, bs: bs})
+	t.sim.AtCompute(execAt, in.key, in.execCompute)
 
 	if !t.cfg.Punctuate && !bs.flushScheduled {
 		bs.flushScheduled = true
+		batch := m.batchID()
 		t.sim.After(t.cfg.FlushTimeout, func() { in.flush(batch, bs) })
 	}
 }
 
-// emit routes one produced tuple to every downstream stage.
+// emit routes one produced tuple to every downstream stage. Must run on the
+// scheduler goroutine (it draws routing randomness and network delays).
 func (in *instance) emit(b int64, bs *batchState, out Tuple) {
 	t := in.st.topo
-	for _, down := range in.st.downstream {
-		targets := down.grouping.Route(out, down.n, t.sim.Rand().Int63())
-		id := tupleID(in.st.name, in.idx, b, bs.emitSeq)
+	if bs.counts == nil && len(in.st.downstream) > 0 {
+		bs.counts = make([][]int, len(in.st.downstream))
+	}
+	for di, down := range in.st.downstream {
+		t.routeBuf = down.grouping.Route(out, down.n, t.sim.Rand().Int63(), t.routeBuf[:0])
+		seq := bs.emitSeq
 		bs.emitSeq++
-		if bs.counts[down.name] == nil {
-			bs.counts[down.name] = make([]int, down.n)
+		if bs.counts[di] == nil {
+			bs.counts[di] = make([]int, down.n)
 		}
-		for _, target := range targets {
-			bs.counts[down.name][target]++
-			m := message{id: id, from: in.idx, tuple: out, batch: b, attempt: bs.lastAttempt}
-			bs.outbox = append(bs.outbox, outMsg{stage: down, target: target, m: m})
+		for _, target := range t.routeBuf {
+			bs.counts[di][target]++
+			m := message{seq: seq, from: int32(in.idx), tuple: out, attempt: bs.lastAttempt}
+			if t.recordResend {
+				bs.outbox = append(bs.outbox, outMsg{stage: down, target: target, m: m})
+			}
 			t.deliver(down, target, m, t.sim.Now())
 		}
 	}
@@ -215,7 +292,7 @@ func (in *instance) finish(b int64, bs *batchState) {
 	t := in.st.topo
 	if debugStragglers {
 		println("finish:", in.st.name, in.idx, "batch", int(b),
-			"recv", fmtIntMap(bs.recvFrom), "expected", fmtIntMap(bs.expected))
+			"recv", fmt.Sprint(bs.recvFrom), "expected", fmt.Sprint(bs.expected))
 	}
 	bs.finished = true
 	at := in.busyUntil
@@ -224,31 +301,38 @@ func (in *instance) finish(b int64, bs *batchState) {
 	}
 	at += t.cfg.FinishBatchCost
 	in.busyUntil = at
-	t.sim.At(at, func() {
-		defer func() { bs.finishDone = true }()
+	t.sim.AtCompute(at, in.key, func() func() {
+		in.pendingBatch, in.pendingBS = b, bs
+		in.emitBuf = in.emitBuf[:0]
 		in.bolt.FinishBatch(b, func(out Tuple) {
 			out.Batch = b
-			in.emit(b, bs, out)
+			in.emitBuf = append(in.emitBuf, out)
 		})
-		if t.cfg.Punctuate {
-			for _, down := range in.st.downstream {
-				counts := bs.counts[down.name]
-				if counts == nil {
-					counts = make([]int, down.n)
-				}
-				for target := 0; target < down.n; target++ {
-					m := message{
-						id: tupleID(in.st.name, in.idx, b, -1), from: in.idx,
-						batchEnd: true, batch: b, count: counts[target], attempt: bs.lastAttempt,
-					}
-					t.deliver(down, target, m, t.sim.Now())
-				}
-			}
-		}
-		if in.st.committer {
-			in.enterCommit(b, bs)
-		}
+		return in.finishApply
 	})
+}
+
+// sendPunctuations announces this instance's per-target emission counts to
+// every downstream stage.
+func (in *instance) sendPunctuations(b int64, bs *batchState, attempt int32) {
+	t := in.st.topo
+	for di, down := range in.st.downstream {
+		var counts []int
+		if bs.counts != nil {
+			counts = bs.counts[di]
+		}
+		for target := 0; target < down.n; target++ {
+			count := 0
+			if counts != nil {
+				count = counts[target]
+			}
+			m := message{
+				seq: -1, from: int32(in.idx), tuple: Tuple{Batch: b},
+				batchEnd: true, count: count, attempt: attempt,
+			}
+			t.deliver(down, target, m, t.sim.Now())
+		}
+	}
 }
 
 // enterCommit applies the batch under the commit discipline.
@@ -284,7 +368,7 @@ func (in *instance) applyCommit(b int64, bs *batchState) {
 // maybeResend re-sends this instance's stored output for a finished batch
 // when a replayed message with a newer attempt arrives (recovering
 // downstream losses without re-execution — bolts are deterministic).
-func (in *instance) maybeResend(b int64, bs *batchState, attempt int) {
+func (in *instance) maybeResend(b int64, bs *batchState, attempt int32) {
 	t := in.st.topo
 	if !bs.finishDone || attempt <= bs.lastAttempt {
 		return
@@ -296,19 +380,7 @@ func (in *instance) maybeResend(b int64, bs *batchState, attempt int) {
 		t.deliver(om.stage, om.target, m, t.sim.Now())
 	}
 	if t.cfg.Punctuate {
-		for _, down := range in.st.downstream {
-			counts := bs.counts[down.name]
-			if counts == nil {
-				counts = make([]int, down.n)
-			}
-			for target := 0; target < down.n; target++ {
-				m := message{
-					id: tupleID(in.st.name, in.idx, b, -1), from: in.idx,
-					batchEnd: true, batch: b, count: counts[target], attempt: attempt,
-				}
-				t.deliver(down, target, m, t.sim.Now())
-			}
-		}
+		in.sendPunctuations(b, bs, attempt)
 	}
 	if in.st.committer && bs.committed {
 		// Re-ack: the spout may have missed the original acknowledgement.

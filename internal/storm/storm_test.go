@@ -17,7 +17,7 @@ func TestShuffleGroupingSingleTargetInRange(t *testing.T) {
 		if r < 0 {
 			r = -r
 		}
-		targets := ShuffleGrouping{}.Route(Tuple{}, int(n), r)
+		targets := ShuffleGrouping{}.Route(Tuple{}, int(n), r, nil)
 		return len(targets) == 1 && targets[0] >= 0 && targets[0] < int(n)
 	}
 	if err := quick.Check(prop, nil); err != nil {
@@ -27,15 +27,15 @@ func TestShuffleGroupingSingleTargetInRange(t *testing.T) {
 
 func TestFieldsGroupingStableAndKeyed(t *testing.T) {
 	g := FieldsGrouping{Fields: []int{0}}
-	a := g.Route(Tuple{Values: Values{"word", "1"}}, 8, 0)
-	b := g.Route(Tuple{Values: Values{"word", "2"}}, 8, 99)
+	a := g.Route(Tuple{Values: Values{"word", "1"}}, 8, 0, nil)
+	b := g.Route(Tuple{Values: Values{"word", "2"}}, 8, 99, nil)
 	if !reflect.DeepEqual(a, b) {
 		t.Error("same key must route to the same instance regardless of randomness")
 	}
 	// Different keys should spread (not all to one instance).
 	seen := map[int]bool{}
 	for _, w := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
-		seen[g.Route(Tuple{Values: Values{w}}, 8, 0)[0]] = true
+		seen[g.Route(Tuple{Values: Values{w}}, 8, 0, nil)[0]] = true
 	}
 	if len(seen) < 2 {
 		t.Error("fields grouping failed to spread distinct keys")
@@ -43,14 +43,14 @@ func TestFieldsGroupingStableAndKeyed(t *testing.T) {
 }
 
 func TestAllGroupingBroadcasts(t *testing.T) {
-	targets := AllGrouping{}.Route(Tuple{}, 4, 0)
+	targets := AllGrouping{}.Route(Tuple{}, 4, 0, nil)
 	if !reflect.DeepEqual(targets, []int{0, 1, 2, 3}) {
 		t.Errorf("targets = %v", targets)
 	}
 }
 
 func TestGlobalGroupingRoutesToZero(t *testing.T) {
-	if got := (GlobalGrouping{}).Route(Tuple{}, 7, 12345); !reflect.DeepEqual(got, []int{0}) {
+	if got := (GlobalGrouping{}).Route(Tuple{}, 7, 12345, nil); !reflect.DeepEqual(got, []int{0}) {
 		t.Errorf("targets = %v", got)
 	}
 }

@@ -132,12 +132,27 @@ type Topology struct {
 	txc     *txCoordinator
 	metrics Metrics
 
+	// recordResend marks configurations under which a finished instance
+	// can observe a resend trigger (batch replay or duplicate delivery).
+	// Only then do instances retain their outbox and the spout its routed
+	// batches — that state is large and pure overhead otherwise.
+	recordResend bool
+	// routeBuf is the shared routing scratch buffer (scheduler goroutine
+	// only).
+	routeBuf []int
+
 	// Spout-side batch control.
 	nextBatch    int64
 	exhausted    bool
 	totalBatches int64
 	inflight     map[int64]*batchControl
 	spoutOutbox  map[int64]*spoutBatch
+	// scratchBatch is the reusable routed-batch buffer used when replay
+	// state need not be retained.
+	scratchBatch spoutBatch
+	// spoutTuples/spoutOK are reusable per-instance pull buffers.
+	spoutTuples [][]Values
+	spoutOK     []bool
 }
 
 // spoutBatch is a batch routed once at first emission and stored verbatim so
@@ -168,7 +183,7 @@ type spoutEnd struct {
 
 type batchControl struct {
 	acked   bool
-	attempt int
+	attempt int32
 	commits map[int]bool // committer instance → committed
 }
 
@@ -258,13 +273,19 @@ func (t *Topology) Start() error {
 		up.downstream = append(up.downstream, st)
 		st.upstreamN = up.n
 	}
-	// Instantiate instances.
+	t.recordResend = t.cfg.ReplayTimeout > 0 || t.cfg.Link.DupProb > 0
+	// Instantiate instances; each gets a topology-unique partition key for
+	// the deterministic parallel scheduler.
+	key := sim.Partition(0)
 	for _, st := range t.stages {
 		st.instances = make([]*instance, st.n)
 		for i := 0; i < st.n; i++ {
-			st.instances[i] = newInstance(st, i)
+			st.instances[i] = newInstance(st, i, key)
+			key++
 		}
 	}
+	t.spoutTuples = make([][]Values, t.spoutN)
+	t.spoutOK = make([]bool, t.spoutN)
 	if t.cfg.BatchInterval > 0 {
 		t.schedulePaced(0)
 	} else {
@@ -305,7 +326,6 @@ func (t *Topology) maybeEmit() {
 		}
 		t.nextBatch++
 	}
-	t.checkAllDone()
 }
 
 func (t *Topology) unackedCount() int {
@@ -318,16 +338,23 @@ func (t *Topology) unackedCount() int {
 	return n
 }
 
-// emitBatch pulls batch b from every spout instance, routes it exactly once,
-// stores the routed batch for replay, and streams it into the first stages.
+// emitBatch pulls batch b from every spout instance (concurrently when the
+// simulator carries a worker pool — each instance's share is an independent
+// pure function), routes it exactly once, and streams it into the first
+// stages. The routed batch is retained for replay only when a resend is
+// actually observable; otherwise a reusable scratch buffer holds it just
+// long enough to send.
 func (t *Topology) emitBatch(b int64) {
-	perInstance := make([][]Values, t.spoutN)
+	perInstance := t.spoutTuples
+	t.sim.Pool().Map(t.spoutN, func(i int) {
+		perInstance[i], t.spoutOK[i] = t.spout.NextBatch(i, b)
+	})
 	any := false
 	for i := 0; i < t.spoutN; i++ {
-		tuples, ok := t.spout.NextBatch(i, b)
-		if ok {
+		if t.spoutOK[i] {
 			any = true
-			perInstance[i] = tuples
+		} else {
+			perInstance[i] = nil
 		}
 	}
 	if !any {
@@ -337,21 +364,28 @@ func (t *Topology) emitBatch(b int64) {
 	}
 	t.inflight[b] = &batchControl{commits: map[int]bool{}}
 
-	sb := &spoutBatch{}
+	var sb *spoutBatch
+	if t.recordResend {
+		sb = &spoutBatch{}
+		t.spoutOutbox[b] = sb
+	} else {
+		sb = &t.scratchBatch
+		sb.sends = sb.sends[:0]
+		sb.ends = sb.ends[:0]
+	}
 	for _, st := range t.spoutDownstream() {
 		for i, tuples := range perInstance {
 			counts := make([]int, st.n)
 			var offset sim.Time
 			for seq, vals := range tuples {
 				tp := Tuple{Batch: b, Values: vals}
-				targets := st.grouping.Route(tp, st.n, t.sim.Rand().Int63())
-				id := tupleID(t.spoutName, i, b, seq)
+				t.routeBuf = st.grouping.Route(tp, st.n, t.sim.Rand().Int63(), t.routeBuf[:0])
 				offset += t.cfg.EmitInterval
-				for _, target := range targets {
+				for _, target := range t.routeBuf {
 					counts[target]++
 					sb.sends = append(sb.sends, spoutSend{
 						stage: st, target: target, offset: offset,
-						m: message{id: id, from: i, tuple: tp, batch: b},
+						m: message{seq: int32(seq), from: int32(i), tuple: tp},
 					})
 				}
 			}
@@ -364,20 +398,18 @@ func (t *Topology) emitBatch(b int64) {
 			}
 		}
 	}
-	t.spoutOutbox[b] = sb
 	for i := range perInstance {
 		t.metrics.EmittedTuples += len(perInstance[i])
 	}
-	t.sendBatch(b, 1)
+	t.sendBatch(sb, b, 1)
 	if t.cfg.ReplayTimeout > 0 {
 		t.scheduleReplayCheck(b)
 	}
 }
 
-// sendBatch streams the stored routed batch (attempt n) into the first
-// stages, pacing tuples and closing with punctuations.
-func (t *Topology) sendBatch(b int64, attempt int) {
-	sb := t.spoutOutbox[b]
+// sendBatch streams the routed batch (attempt n) into the first stages,
+// pacing tuples and closing with punctuations.
+func (t *Topology) sendBatch(sb *spoutBatch, b int64, attempt int32) {
 	if sb == nil {
 		return
 	}
@@ -389,8 +421,8 @@ func (t *Topology) sendBatch(b int64, attempt int) {
 	}
 	for _, end := range sb.ends {
 		t.deliver(end.stage, end.target, message{
-			id: tupleID(t.spoutName, end.from, b, -1), from: end.from,
-			batchEnd: true, batch: b, count: end.count, attempt: attempt,
+			seq: -1, from: int32(end.from), tuple: Tuple{Batch: b},
+			batchEnd: true, count: end.count, attempt: attempt,
 		}, start+end.offset)
 	}
 }
@@ -409,9 +441,11 @@ func (t *Topology) deliver(st *stage, idx int, m message, notBefore sim.Time) {
 	if now := t.sim.Now(); at < now {
 		at = now
 	}
-	t.sim.At(at, func() { st.instances[idx].receive(m) })
+	ins := st.instances[idx]
+	recv := func() { ins.receive(m) }
+	t.sim.At(at, recv)
 	if t.cfg.Link.DupProb > 0 && t.sim.Rand().Float64() < t.cfg.Link.DupProb {
-		t.sim.At(at+delay, func() { st.instances[idx].receive(m) })
+		t.sim.At(at+delay, recv)
 	}
 }
 
@@ -424,10 +458,11 @@ func (t *Topology) scheduleReplayCheck(b int64) {
 		}
 		bc.attempt++
 		t.metrics.Replays++
-		if sb := t.spoutOutbox[b]; sb != nil {
+		sb := t.spoutOutbox[b]
+		if sb != nil {
 			t.metrics.ReplayedTuples += len(sb.sends)
 		}
-		t.sendBatch(b, bc.attempt+1)
+		t.sendBatch(sb, b, bc.attempt+1)
 		t.scheduleReplayCheck(b)
 	})
 }
@@ -462,11 +497,6 @@ func (t *Topology) committerStage() *stage {
 		}
 	}
 	return nil
-}
-
-func (t *Topology) checkAllDone() {
-	// Nothing to do: the simulator drains naturally. Kept as a hook for
-	// future completion callbacks.
 }
 
 // Done reports whether every emitted batch has fully committed.

@@ -7,12 +7,16 @@
 // per-batch punctuations arrive, the strategy Blazes proves safe for the
 // wordcount of Section VI-A). It is the substrate for the Figure 11
 // experiment.
+//
+// Execution is deterministic even in parallel mode: when the simulator
+// carries a worker pool, bolt work runs as two-phase events partitioned by
+// operator instance (sim.AtCompute) and spout instances generate their
+// batch shares concurrently, while every routing decision and network-delay
+// draw stays on the scheduler goroutine in schedule order — the delivery
+// schedule is byte-identical to the sequential run.
 package storm
 
-import (
-	"fmt"
-	"strconv"
-)
+import "fmt"
 
 // Values is a tuple payload: a fixed-arity list of fields.
 type Values []string
@@ -31,17 +35,22 @@ func (t Tuple) String() string {
 
 // message is the wire format between instances: either a data tuple or a
 // batch-end punctuation carrying the producer's per-batch emission count.
+// Its identity for deduplication is (from, seq) — unique within the
+// receiving instance's batch, because every consumer stage has exactly one
+// upstream stage and producers number their per-batch emissions densely.
+// The batch rides in tuple.Batch (set even on punctuations, whose Values
+// are nil): one delivery closure per message is the engine's floor on
+// allocations, so the struct is kept lean. (An earlier revision carried a
+// formatted string id; building and hashing those strings dominated the
+// allocation profile.)
 type message struct {
-	id       string // unique per logical tuple; stable across replays
-	from     int    // producer instance index within its stage
-	tuple    Tuple
+	seq      int32 // producer's per-batch emission sequence; -1 for punctuations
+	from     int32 // producer instance index within its stage
+	attempt  int32 // replay attempt that produced this message
 	batchEnd bool
-	batch    int64
 	count    int // tuples the producer emitted to this consumer for batch
-	attempt  int // replay attempt that produced this message
+	tuple    Tuple
 }
 
-// tupleID builds the stable dedup identifier for an emitted tuple.
-func tupleID(stage string, instance int, batch int64, seq int) string {
-	return stage + "/" + strconv.Itoa(instance) + "/" + strconv.FormatInt(batch, 10) + "/" + strconv.Itoa(seq)
-}
+// batchID returns the batch the message belongs to.
+func (m message) batchID() int64 { return m.tuple.Batch }

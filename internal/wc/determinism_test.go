@@ -1,0 +1,63 @@
+package wc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"blazes/internal/sim"
+	"blazes/internal/storm"
+)
+
+// runDigest renders everything observable about one run — metrics, commit
+// order, and the full store contents — as one string.
+func runDigest(t *testing.T, rc RunConfig) string {
+	t.Helper()
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("metrics=%+v order=%v store=%v done=%v at=%d",
+		res.Metrics, res.Store.CommitOrder(), res.Store.Snapshot(), res.Done, res.At)
+}
+
+// TestParallelRunByteIdentical pins the tentpole contract on the wordcount:
+// Parallelism 8 produces byte-identical metrics, commit order, and store
+// contents as Parallelism 1, in both commit modes, under varying
+// GOMAXPROCS.
+func TestParallelRunByteIdentical(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, mode := range []storm.CommitMode{storm.CommitSealed, storm.CommitTransactional} {
+		for seed := int64(1); seed <= 3; seed++ {
+			base := RunConfig{
+				Seed: seed, Workers: 3, Batches: 5, TuplesPerBatch: 20,
+				WordsPerTweet: 4, Mode: mode, Punctuate: true,
+			}
+			want := runDigest(t, base)
+			for _, procs := range []int{1, 4} {
+				runtime.GOMAXPROCS(procs)
+				par := base
+				par.Parallelism = 8
+				if got := runDigest(t, par); got != want {
+					t.Fatalf("mode %s seed %d GOMAXPROCS %d: parallel run differs:\n--- sequential\n%s\n--- parallel\n%s",
+						mode, seed, procs, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedPoolMatchesParallelism: supplying a shared pool behaves like
+// per-run Parallelism.
+func TestSharedPoolMatchesParallelism(t *testing.T) {
+	base := RunConfig{
+		Seed: 7, Workers: 2, Batches: 3, TuplesPerBatch: 10,
+		WordsPerTweet: 3, Mode: storm.CommitSealed, Punctuate: true,
+	}
+	want := runDigest(t, base)
+	pooled := base
+	pooled.Pool = sim.NewPool(4)
+	if got := runDigest(t, pooled); got != want {
+		t.Fatalf("shared pool differs:\n--- sequential\n%s\n--- pooled\n%s", want, got)
+	}
+}

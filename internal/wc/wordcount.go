@@ -63,8 +63,8 @@ func (s *TweetSpout) NextBatch(instance int, batch int64) ([]storm.Values, bool)
 		vocab = DefaultVocabulary
 	}
 	tuples := make([]storm.Values, s.TuplesPerBatch)
+	words := make([]string, s.WordsPerTweet) // scratch, reused across tweets
 	for j := range tuples {
-		words := make([]string, s.WordsPerTweet)
 		for k := range words {
 			words[k] = vocab[wordIndex(instance, batch, j, k, len(vocab))]
 		}
@@ -117,8 +117,11 @@ type Splitter struct{}
 
 // Execute implements storm.Bolt.
 func (Splitter) Execute(t storm.Tuple, emit storm.Emitter) {
-	for _, w := range strings.Fields(t.Values[0]) {
-		emit(storm.Tuple{Values: storm.Values{w}})
+	// One allocation per tweet: every emitted single-word tuple is a
+	// capacity-clamped subslice of the Fields result.
+	words := strings.Fields(t.Values[0])
+	for i := range words {
+		emit(storm.Tuple{Values: words[i : i+1 : i+1]})
 	}
 }
 

@@ -1,19 +1,42 @@
 #!/usr/bin/env bash
-# bench.sh — run the full benchmark suite and record the repo's perf
-# baseline as JSON.
+# bench.sh — run the benchmark suite and record the repo's perf baseline as
+# JSON.
 #
 # Usage:
-#   scripts/bench.sh                 # 5 runs per benchmark -> BENCH_2.json
+#   scripts/bench.sh                 # 5 runs per benchmark -> BENCH_4.json
+#   scripts/bench.sh -quick          # <1-minute smoke signal -> BENCH_quick.json
 #   COUNT=3 OUT=/tmp/b.json scripts/bench.sh
 #
 # Output maps each benchmark to its mean ns/op, B/op, and allocs/op across
 # COUNT runs. See EXPERIMENTS.md ("Performance baseline") for how the file
 # is used to gate regressions between PRs.
+#
+# -quick mode is for contributors who want a fast signal: one run per
+# benchmark with the Figure 11 sweep reduced via BLAZES_BENCH_QUICK (the
+# full-size sweep dominates the suite's runtime). Quick numbers are a smoke
+# signal only — Fig11's workload differs from the baseline's, so never
+# compare BENCH_quick.json against BENCH_*.json or commit it as a baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_2.json}"
+QUICK=0
+if [[ "${1:-}" == "-quick" || "${1:-}" == "--quick" ]]; then
+	QUICK=1
+	shift
+fi
+if [[ $# -gt 0 ]]; then
+	echo "usage: scripts/bench.sh [-quick]" >&2
+	exit 2
+fi
+
+if [[ "$QUICK" == 1 ]]; then
+	COUNT="${COUNT:-1}"
+	OUT="${OUT:-BENCH_quick.json}"
+	export BLAZES_BENCH_QUICK=1
+else
+	COUNT="${COUNT:-5}"
+	OUT="${OUT:-BENCH_4.json}"
+fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

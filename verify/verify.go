@@ -61,6 +61,12 @@ type Options struct {
 	// PreferSequencing selects M1 (preordained total order) over M2
 	// dynamic ordering when synthesis must order inputs.
 	PreferSequencing bool
+	// Parallelism is the worker count for exploring seeded schedules
+	// concurrently (each on its own simulator, merged in seed order): the
+	// report — anomalies, details, JSON bytes — is byte-identical to a
+	// sequential sweep, only faster on multicore. 0 or 1 keeps the sweep
+	// sequential; < 0 selects GOMAXPROCS.
+	Parallelism int
 }
 
 // Check verifies the Blazes guarantee for one workload; see the package
@@ -70,6 +76,7 @@ func Check(w Workload, opts Options) (*Report, error) {
 		Seeds:            opts.Seeds,
 		Plans:            opts.Plans,
 		PreferSequencing: opts.PreferSequencing,
+		Parallelism:      opts.Parallelism,
 	})
 }
 
