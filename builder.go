@@ -137,7 +137,13 @@ func (b *GraphBuilder) Build() (*Graph, error) {
 		s.Seal = b.seals[name]
 	}
 	if err := b.g.Validate(); err != nil {
-		errs = append(errs, err)
+		// Validate itself aggregates with errors.Join; flatten so Build's
+		// own join exposes every individual problem.
+		if joined, ok := err.(interface{ Unwrap() []error }); ok {
+			errs = append(errs, joined.Unwrap()...)
+		} else {
+			errs = append(errs, err)
+		}
 	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)

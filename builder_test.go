@@ -108,6 +108,56 @@ func TestGraphBuilderDeferredErrors(t *testing.T) {
 	}
 }
 
+// TestGraphBuilderAggregatesAllValidationErrors: graph validation reports
+// every structural problem in one errors.Join — not just the first — with
+// each message naming the offending component or stream, so a broken
+// construction site is fixable in a single pass.
+func TestGraphBuilderAggregatesAllValidationErrors(t *testing.T) {
+	b := NewGraphBuilder("multi-broken")
+	b.Component("Empty") // no annotated paths
+	b.ComponentPath("C", "in", "out", CR)
+	b.Source("a", "C", "nope")                // unknown input interface
+	b.Sink("b", "C", "missing")               // unknown output interface
+	b.Stream("c", "Ghost", "x", "C", "in")    // unknown producer component
+	b.Stream("d", "C", "out", "Phantom", "y") // unknown consumer component
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("Build succeeded on a multiply-broken graph")
+	}
+	wants := []string{
+		`component "Empty" has no annotated paths`,
+		`stream "a": component "C" has no input interface "nope"`,
+		`stream "b": component "C" has no output interface "missing"`,
+		`stream "c": unknown producer component "Ghost"`,
+		`stream "d": unknown consumer component "Phantom"`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+	// errors.Join exposes the individual errors via Unwrap() []error.
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("Build error is not an errors.Join aggregate: %T", err)
+	}
+	if got := len(joined.Unwrap()); got < len(wants) {
+		t.Errorf("aggregate holds %d errors, want ≥ %d", got, len(wants))
+	}
+	// Deterministic message: the same broken graph yields the same text.
+	_, err2 := NewGraphBuilder("multi-broken").
+		Component("Empty").Graph().
+		ComponentPath("C", "in", "out", CR).
+		Source("a", "C", "nope").
+		Sink("b", "C", "missing").
+		Stream("c", "Ghost", "x", "C", "in").
+		Stream("d", "C", "out", "Phantom", "y").
+		Build()
+	if err2 == nil || err.Error() != err2.Error() {
+		t.Errorf("validation message not deterministic:\n%v\nvs\n%v", err, err2)
+	}
+}
+
 func TestGraphBuilderSealNeedsKey(t *testing.T) {
 	b := NewGraphBuilder("g")
 	b.ComponentPath("C", "in", "out", CR)

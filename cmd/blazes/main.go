@@ -4,7 +4,9 @@
 // strategy. The verify subcommand goes further and *proves* the guarantee
 // by adversarial execution: it runs built-in workloads under many seeded
 // delivery schedules with fault injection and checks that coordinated runs
-// are outcome-invariant while stripped runs diverge.
+// are outcome-invariant while stripped runs diverge. The serve subcommand
+// runs the analysis as a long-running HTTP+JSON service hosting mutable,
+// incrementally re-analyzed sessions (see blazes/service).
 //
 // Usage:
 //
@@ -14,6 +16,7 @@
 //	blazes -spec internal/spec/testdata/wordcount.blazes -seal tweets=batch -json
 //	blazes verify -workload wordcount-storm -seeds 64
 //	blazes verify -json
+//	blazes serve -addr 127.0.0.1:8351
 //
 // Flags (analysis mode):
 //
@@ -39,13 +42,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"slices"
 	"strings"
+	"syscall"
 
 	"blazes"
 )
@@ -62,14 +68,24 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// ^C / SIGTERM cancel the context: verify sweeps stop at the next
+	// seed boundary and serve shuts down gracefully, instead of the
+	// process dying mid-write (or not at all).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run dispatches to the analysis flow or the verify subcommand; it returns
-// the process exit code so tests can drive the command in-process.
-func run(args []string, stdout, stderr io.Writer) int {
-	if len(args) > 0 && args[0] == "verify" {
-		return runVerify(args[1:], stdout, stderr)
+// run dispatches to the analysis flow or the verify/serve subcommands; it
+// returns the process exit code so tests can drive the command in-process.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "verify":
+			return runVerify(ctx, args[1:], stdout, stderr)
+		case "serve":
+			return runServe(ctx, args[1:], stdout, stderr)
+		}
 	}
 	return runAnalyze(args, stdout, stderr)
 }
@@ -90,7 +106,7 @@ func runAnalyze(args []string, stdout, stderr io.Writer) int {
 	fs.Var(&variants, "variant", "Component=Variant annotation selection (repeatable)")
 	fs.Var(&seals, "seal", "stream=attr+attr seal annotation (repeatable)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: blazes -spec file [flags]\n       blazes verify [flags]\n\n")
+		fmt.Fprintf(stderr, "usage: blazes -spec file [flags]\n       blazes verify [flags]\n       blazes serve [flags]\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, `
 exit codes:

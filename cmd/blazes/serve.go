@@ -1,0 +1,96 @@
+// The serve subcommand: the analysis as a long-running HTTP+JSON service
+// (blazes/service) hosting concurrent, incrementally re-analyzed sessions.
+//
+// Usage:
+//
+//	blazes serve [-addr host:port] [-max-sessions n]
+//
+// Flags:
+//
+//	-addr addr        listen address (default 127.0.0.1:8351; port 0
+//	                  picks a free port — the chosen address is printed)
+//	-max-sessions n   concurrent session cap; least-recently-used
+//	                  sessions are evicted beyond it (default 64)
+//
+// The server announces itself on stdout ("serving on http://..."), runs
+// until SIGINT/SIGTERM, then shuts down gracefully: in-flight requests get
+// a drain window and their contexts are cancelled. Exit codes: 0 after a
+// clean shutdown, 1 if the listener or server fails, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"blazes/service"
+)
+
+// serveShutdownTimeout is the graceful-drain window after a signal.
+const serveShutdownTimeout = 5 * time.Second
+
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blazes serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8351", "listen address (port 0 picks a free port)")
+		maxSessions = fs.Int("max-sessions", service.DefaultMaxSessions, "concurrent session cap (LRU eviction beyond it)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: blazes serve [-addr host:port] [-max-sessions n]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "blazes: serve: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return exitUsage
+	}
+	if *maxSessions <= 0 {
+		fmt.Fprintf(stderr, "blazes: serve: -max-sessions must be positive\n")
+		fs.Usage()
+		return exitUsage
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "blazes: serve: %v\n", err)
+		return exitError
+	}
+	fmt.Fprintf(stdout, "blazes: serving on http://%s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler: service.New(service.Options{MaxSessions: *maxSessions}).Handler(),
+		// Cancel request contexts when the serve context dies, so
+		// in-flight analyze/verify work stops during the drain.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), serveShutdownTimeout)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	err = srv.Serve(ln)
+	<-done
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "blazes: serve: %v\n", err)
+		return exitError
+	}
+	fmt.Fprintln(stdout, "blazes: shut down cleanly")
+	return exitOK
+}

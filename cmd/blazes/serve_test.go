@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle boots the server on a free port, drives a
+// create → mutate → analyze round trip over a real socket, cancels the
+// context (the in-process stand-in for SIGINT/SIGTERM) and requires a
+// clean exit with the documented shutdown message.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		var errb bytes.Buffer
+		done <- runServe(ctx, []string{"-addr", "127.0.0.1:0", "-max-sessions", "4"}, &out, &errb)
+	}()
+
+	base := waitForAddr(t, &out)
+	// Round trip: create a session, seal, analyze.
+	spec := "Count:\n  annotation: {from: words, to: counts, label: OW, subscript: [word, batch]}\ntopology:\n  sources:\n    - {name: words, to: Count.words}\n  sinks:\n    - {name: counts, from: Count.counts}\n"
+	resp := post(t, base+"/v1/sessions", `{"name":"wc","spec":`+jsonString(spec)+`}`)
+	if !strings.Contains(resp, `"session": "s1"`) {
+		t.Fatalf("create response: %s", resp)
+	}
+	resp = post(t, base+"/v1/sessions/s1/mutate", `{"ops":[{"op":"seal","stream":"words","key":["batch"]}]}`)
+	if !strings.Contains(resp, `"applied": 1`) {
+		t.Fatalf("mutate response: %s", resp)
+	}
+	resp = post(t, base+"/v1/sessions/s1/analyze", "")
+	if !strings.Contains(resp, `"version": "blazes.report/v2"`) {
+		t.Fatalf("analyze response: %s", resp)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit = %d, want %d", code, exitOK)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down cleanly") {
+		t.Errorf("missing clean-shutdown message in: %s", out.String())
+	}
+}
+
+// TestServeExitCodes pins the serve flag contract.
+func TestServeExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		err  string
+	}{
+		{"help", []string{"serve", "-h"}, exitOK, "usage: blazes serve"},
+		{"bad-flag", []string{"serve", "-nope"}, exitUsage, ""},
+		{"stray-args", []string{"serve", "extra"}, exitUsage, "unexpected arguments"},
+		{"bad-max-sessions", []string{"serve", "-max-sessions", "0"}, exitUsage, "-max-sessions must be positive"},
+		{"bad-addr", []string{"serve", "-addr", "256.256.256.256:0"}, exitError, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := exec(t, tc.args...)
+			if code != tc.code {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, tc.code, stderr)
+			}
+			if tc.err != "" && !strings.Contains(stderr, tc.err) {
+				t.Errorf("stderr %q missing %q", stderr, tc.err)
+			}
+		})
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing server output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`serving on (http://[^\s]+)`)
+
+// waitForAddr polls the server's stdout for the announced listen address.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its address; output: %q", out.String())
+	return ""
+}
+
+func post(t *testing.T, url, body string) string {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// jsonString quotes s as a JSON string literal.
+func jsonString(s string) string {
+	var b bytes.Buffer
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

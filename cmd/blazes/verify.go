@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,7 +35,7 @@ import (
 	"blazes/verify"
 )
 
-func runVerify(args []string, stdout, stderr io.Writer) int {
+func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("blazes verify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -100,7 +101,7 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	var reports []*verify.Report
 	holds := true
 	for _, w := range selected {
-		rep, err := verify.Check(w, opts)
+		rep, err := verify.CheckContext(ctx, w, opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "blazes: verify:", err)
 			return exitError

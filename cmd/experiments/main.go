@@ -10,14 +10,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"blazes/experiments"
 )
 
 func main() {
+	// ^C / SIGTERM cancel the sweeps at the next simulation boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var (
 		fig      = flag.String("fig", "all", "figure to regenerate: 5, 11, 12, 13, 14, or all")
 		quick    = flag.Bool("quick", false, "reduced scale (faster, same shapes)")
@@ -62,7 +68,7 @@ func main() {
 			cfg.Duration = 400 * experiments.Millisecond
 			cfg.Runs = 1
 		}
-		rows, err := experiments.Fig11(cfg)
+		rows, err := experiments.Fig11Context(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -71,7 +77,7 @@ func main() {
 	})
 	adFig := func(servers int, includeOrdered bool, title string) func() error {
 		return func() error {
-			f, err := experiments.Fig12Or13(experiments.AdFigureConfig{
+			f, err := experiments.Fig12Or13Context(ctx, experiments.AdFigureConfig{
 				Seed: *seed, AdServers: servers, EntriesPerServer: entries,
 				Sleep: sleep, BatchSize: batch, IncludeOrdered: includeOrdered,
 				Parallelism: parallelism,

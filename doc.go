@@ -13,21 +13,28 @@
 //
 //   - GraphBuilder: fluent construction of annotated dataflows with
 //     deferred validation (every mistake reported at Build, at once);
-//   - Analyzer: the analysis façade, configured by functional options
-//     (WithSealRepair, PreferSequencing, WithVariant), wrapping label
-//     derivation, strategy synthesis, and fixpoint repair;
+//   - Analyzer: the one-shot analysis façade, configured by functional
+//     options (WithSealRepair, PreferSequencing, WithVariant), wrapping
+//     label derivation, strategy synthesis, and fixpoint repair;
+//   - Session: the mutable, incrementally re-analyzed counterpart for
+//     the interactive repair loop — mutate (Annotate, SealStream,
+//     Connect, SetVariant, ...) and Analyze re-derives only the
+//     components the mutation can affect, with a Delta in the report;
 //   - Report: the stable, JSON-serializable projection of an analysis
-//     (stream labels, per-component derivations, verdict, strategies)
-//     emitted by `blazes -json` and golden-tested to round-trip;
+//     (stream labels, per-component derivations, verdict, strategies,
+//     session deltas) emitted by `blazes -json` and golden-tested to
+//     round-trip; the v2 decoder still accepts v1 documents;
 //   - Spec: the grey-box annotation file format of Figure 1.
 //
-// Three sibling packages complete the public surface: blazes/substrate
+// Four sibling packages complete the public surface: blazes/substrate
 // (the simulated Storm wordcount, ad-tracking network, and Bloom
 // white-box extraction), blazes/experiments (regeneration of the paper's
-// evaluation figures), and blazes/verify (the schedule-exploration
-// harness that proves the analyzer's guarantee under adversarial
-// delivery). Everything under internal/ is implementation detail; cmd/
-// and examples/ consume only the public packages.
+// evaluation figures), blazes/verify (the schedule-exploration harness
+// that proves the analyzer's guarantee under adversarial delivery), and
+// blazes/service (the analysis as a long-running HTTP+JSON service —
+// `blazes serve` — hosting concurrent sessions). Everything under
+// internal/ is implementation detail; cmd/ and examples/ consume only
+// the public packages.
 //
 // Simulation-backed entry points accept a Parallelism option (see
 // substrate.WordcountConfig, verify.Options, experiments.Fig11Config):

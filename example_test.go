@@ -1,6 +1,7 @@
 package blazes_test
 
 import (
+	"context"
 	"fmt"
 
 	"blazes"
@@ -40,4 +41,40 @@ func Example() {
 	// Output:
 	// unsealed: verdict Run, deterministic false
 	// sealed: verdict Async, deterministic true
+}
+
+// ExampleSession drives the paper's interactive repair loop without paying
+// a full analysis per step: open a session, analyze, apply the repair the
+// report suggests, and re-analyze — the second Analyze re-derives only the
+// components the seal can affect, and its Delta section says exactly what
+// the repair bought.
+func ExampleSession() {
+	ctx := context.Background()
+	s, err := blazes.OpenSession(blazes.WordcountTopology(false))
+	if err != nil {
+		panic(err)
+	}
+
+	rep, err := s.Analyze(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("before: verdict %s\n", rep.Verdict.Kind)
+
+	// The cheapest repair: tell Blazes the producer punctuates the tweet
+	// stream per batch, and re-analyze incrementally.
+	if err := s.SealStream("tweets", "batch"); err != nil {
+		panic(err)
+	}
+	rep, err = s.Analyze(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after:  verdict %s\n", rep.Verdict.Kind)
+	fmt.Printf("delta:  verdict %s -> %s, %d stream labels changed\n",
+		rep.Delta.Verdict.Before.Kind, rep.Delta.Verdict.After.Kind, len(rep.Delta.Streams))
+	// Output:
+	// before: verdict Run
+	// after:  verdict Async
+	// delta:  verdict Run -> Async, 4 stream labels changed
 }

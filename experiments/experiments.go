@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	iexp "blazes/internal/experiments"
@@ -49,6 +50,13 @@ func DefaultFig11() Fig11Config { return iexp.DefaultFig11() }
 // Fig11 runs the wordcount sweep.
 func Fig11(cfg Fig11Config) ([]Fig11Row, error) { return iexp.Fig11(cfg) }
 
+// Fig11Context is Fig11 with cancellation: once ctx is done, the sweep's
+// workers stop picking up new simulations and the call returns the
+// context's error instead of rows.
+func Fig11Context(ctx context.Context, cfg Fig11Config) ([]Fig11Row, error) {
+	return iexp.Fig11Context(ctx, cfg)
+}
+
 // PrintFig11 renders the sweep rows.
 func PrintFig11(w io.Writer, rows []Fig11Row) { iexp.PrintFig11(w, rows) }
 
@@ -64,6 +72,11 @@ type AdSeries = iexp.AdSeries
 
 // Fig12Or13 runs the ad-network comparison at the configured scale.
 func Fig12Or13(cfg AdFigureConfig) (*AdFigure, error) { return iexp.Fig12Or13(cfg) }
+
+// Fig12Or13Context is Fig12Or13 with cancellation; see Fig11Context.
+func Fig12Or13Context(ctx context.Context, cfg AdFigureConfig) (*AdFigure, error) {
+	return iexp.Fig12Or13Context(ctx, cfg)
+}
 
 // PrintAdFigure renders the figure as sampled series.
 func PrintAdFigure(w io.Writer, fig *AdFigure, samples int) { iexp.PrintAdFigure(w, fig, samples) }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestGuaranteeAcrossSubstrates(t *testing.T) {
 		tc := tc
 		t.Run(tc.w.Name(), func(t *testing.T) {
 			t.Parallel()
-			rep, err := Check(tc.w, Config{})
+			rep, err := Check(context.Background(), tc.w, Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -86,7 +87,7 @@ func TestGuaranteeAcrossSubstrates(t *testing.T) {
 // even the cross-run anomaly that M2 permits must disappear.
 func TestPreferSequencingEliminatesRunAnomalies(t *testing.T) {
 	t.Parallel()
-	rep, err := Check(ReplicatedReport(dataflow.POOR), Config{PreferSequencing: true})
+	rep, err := Check(context.Background(), ReplicatedReport(dataflow.POOR), Config{PreferSequencing: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 
 	"blazes/internal/dataflow"
@@ -113,13 +114,16 @@ func allowedAnomalies(mech dataflow.Coordination) Anomalies {
 // sweep explores cfg.Seeds schedules of one (mechanism, plan) cell. With a
 // pool, the seeded runs — each on its own simulator — execute concurrently;
 // the oracle then folds the outcomes in seed order, so the verdict is
-// byte-identical to the sequential sweep.
-func sweep(w Workload, cfg Config, pool *sim.Pool, plan FaultPlan, mech dataflow.Coordination, confluent bool) (Sweep, error) {
+// byte-identical to the sequential sweep. Cancelling ctx stops the workers
+// at the next seed boundary and aborts the sweep.
+func sweep(ctx context.Context, w Workload, cfg Config, pool *sim.Pool, plan FaultPlan, mech dataflow.Coordination, confluent bool) (Sweep, error) {
 	outcomes := make([]Outcome, cfg.Seeds)
 	errs := make([]error, cfg.Seeds)
-	pool.Map(cfg.Seeds, func(i int) {
+	if err := pool.MapContext(ctx, cfg.Seeds, func(i int) {
 		outcomes[i], errs[i] = w.Run(int64(i+1), plan, mech)
-	})
+	}); err != nil {
+		return Sweep{}, fmt.Errorf("chaos: %s under %s/%s: %w", w.Name(), mech, plan.Name, err)
+	}
 	oracle := NewOracle(confluent)
 	for i, out := range outcomes {
 		if errs[i] != nil {
@@ -152,7 +156,10 @@ func sweep(w Workload, cfg Config, pool *sim.Pool, plan FaultPlan, mech dataflow
 //     allowance for that mechanism;
 //  4. strip the coordination and assert that at least one fault plan
 //     reproduces a detected divergence.
-func Check(w Workload, cfg Config) (*Report, error) {
+//
+// Cancelling ctx aborts the check promptly: in-flight seeded runs finish,
+// queued ones never start, and Check returns the context's error.
+func Check(ctx context.Context, w Workload, cfg Config) (*Report, error) {
 	if cfg.Seeds <= 0 {
 		cfg.Seeds = DefaultSeeds
 	}
@@ -211,7 +218,7 @@ func Check(w Workload, cfg Config) (*Report, error) {
 
 	for _, mech := range mechs {
 		for _, plan := range cfg.Plans {
-			s, err := sweep(w, cfg, pool, plan, mech, bare)
+			s, err := sweep(ctx, w, cfg, pool, plan, mech, bare)
 			if err != nil {
 				return nil, err
 			}
@@ -226,7 +233,7 @@ func Check(w Workload, cfg Config) (*Report, error) {
 		rep.DivergenceReproduced = true
 	} else {
 		for _, plan := range cfg.Plans {
-			s, err := sweep(w, cfg, pool, plan, dataflow.CoordNone, false)
+			s, err := sweep(ctx, w, cfg, pool, plan, dataflow.CoordNone, false)
 			if err != nil {
 				return nil, err
 			}

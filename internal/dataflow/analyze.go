@@ -20,6 +20,10 @@ type ComponentAnalysis struct {
 	Reconciliations map[string]core.Reconciliation
 	// OutputLabels maps each output interface to its merged label.
 	OutputLabels map[string]core.Label
+
+	// builtBy tags the incremental-engine pass that assembled this record
+	// (zero for one-shot analyses); see Incremental.Analyze.
+	builtBy uint64
 }
 
 // Analysis is the result of analyzing a dataflow graph: a label for every
@@ -37,6 +41,32 @@ type Analysis struct {
 	Components map[string]*ComponentAnalysis
 	// Verdict is the highest-severity label among sink streams.
 	Verdict core.Label
+}
+
+// streamIndex precomputes per-(component, interface) stream lists so the
+// label propagation does not rescan the whole stream list at every node.
+// Slices preserve declaration order, matching StreamsInto/StreamsOutOf.
+type streamIndex struct {
+	into  map[[2]string][]*Stream
+	outOf map[[2]string][]*Stream
+}
+
+func indexStreams(g *Graph) *streamIndex {
+	idx := &streamIndex{
+		into:  map[[2]string][]*Stream{},
+		outOf: map[[2]string][]*Stream{},
+	}
+	for _, s := range g.Streams() {
+		if !s.IsSink() {
+			k := [2]string{s.ToComp, s.ToIface}
+			idx.into[k] = append(idx.into[k], s)
+		}
+		if !s.IsSource() {
+			k := [2]string{s.FromComp, s.FromIface}
+			idx.outOf[k] = append(idx.outOf[k], s)
+		}
+	}
+	return idx
 }
 
 // Analyze runs the Blazes analysis over g: validate, collapse cycles,
@@ -69,8 +99,9 @@ func Analyze(g *Graph) (*Analysis, error) {
 		}
 	}
 
+	idx := indexStreams(cg)
 	for _, node := range outputTopoOrder(cg) {
-		a.analyzeOutput(cg, node)
+		a.analyzeOutput(cg, idx, node)
 	}
 
 	a.Verdict = a.verdict(cg)
@@ -116,9 +147,53 @@ func outputTopoOrder(g *Graph) []ifaceNode {
 	return outs
 }
 
+// deriveOutput performs the derivation for one output interface: inference
+// per (input label × path), then reconciliation, then the mechanism floor.
+// It is the single implementation shared by the one-shot Analyze and the
+// incremental engine; labels supplies the already-derived stream labels.
+func deriveOutput(comp *Component, iface string, idx *streamIndex, labels map[string]core.Label) (steps []core.Step, rec core.Reconciliation, out core.Label) {
+	coordinated := comp.Coordination == CoordSequenced || comp.Coordination == CoordDynamicOrder
+
+	var merged []core.Label
+	for _, p := range comp.PathsTo(iface) {
+		ann := p.Ann
+		if coordinated && ann.OrderSensitive() {
+			// A total order over inputs removes order sensitivity: the
+			// path behaves as its confluent counterpart. (M2's residual
+			// cross-run nondeterminism is reapplied below.)
+			ann = core.Annotation{Confluent: true, Write: ann.Write}
+		}
+		info := core.PathInfo{Ann: ann, Deps: comp.Deps}
+		for _, in := range inputLabels(idx, labels, comp.Name, p.From) {
+			step := core.InferInfo(in, info)
+			steps = append(steps, step)
+			merged = append(merged, step.Out)
+		}
+	}
+	rep := comp.Rep
+	for _, s := range idx.outOf[[2]string{comp.Name, iface}] {
+		if s.Rep {
+			rep = true
+		}
+	}
+	var outSchema fd.AttrSet
+	if comp.OutSchema != nil {
+		outSchema = comp.OutSchema[iface]
+	}
+	rec = core.ReconcileWithSchema(merged, rep, comp.Deps, outSchema)
+
+	out = rec.Output
+	// M2 (dynamic ordering) fixes order within a run only: contents remain
+	// nondeterministic across runs (Figure 5).
+	if comp.Coordination == CoordDynamicOrder && out.Severity() < core.Run.Severity() {
+		out = core.Run
+	}
+	return steps, rec, out
+}
+
 // analyzeOutput derives the label for one output interface and stamps it on
 // the streams leaving it.
-func (a *Analysis) analyzeOutput(g *Graph, node ifaceNode) {
+func (a *Analysis) analyzeOutput(g *Graph, idx *streamIndex, node ifaceNode) {
 	comp := g.Lookup(node.comp)
 	if comp == nil {
 		return
@@ -133,50 +208,21 @@ func (a *Analysis) analyzeOutput(g *Graph, node ifaceNode) {
 		a.Components[comp.Name] = ca
 	}
 
-	coordinated := comp.Coordination == CoordSequenced || comp.Coordination == CoordDynamicOrder
-
-	var labels []core.Label
-	for _, p := range comp.PathsTo(node.iface) {
-		ann := p.Ann
-		if coordinated && ann.OrderSensitive() {
-			// A total order over inputs removes order sensitivity: the
-			// path behaves as its confluent counterpart. (M2's residual
-			// cross-run nondeterminism is reapplied below.)
-			ann = core.Annotation{Confluent: true, Write: ann.Write}
-		}
-		info := core.PathInfo{Ann: ann, Deps: comp.Deps}
-		for _, in := range a.inputLabels(g, comp.Name, p.From) {
-			step := core.InferInfo(in, info)
-			ca.Steps = append(ca.Steps, step)
-			labels = append(labels, step.Out)
-		}
-	}
-	rep := comp.Rep || anyOutStreamRep(g, comp.Name, node.iface)
-	var outSchema fd.AttrSet
-	if comp.OutSchema != nil {
-		outSchema = comp.OutSchema[node.iface]
-	}
-	rec := core.ReconcileWithSchema(labels, rep, comp.Deps, outSchema)
+	steps, rec, out := deriveOutput(comp, node.iface, idx, a.StreamLabels)
+	ca.Steps = append(ca.Steps, steps...)
 	ca.Reconciliations[node.iface] = rec
 	ca.OutputLabels[node.iface] = rec.Output
-
-	out := rec.Output
-	// M2 (dynamic ordering) fixes order within a run only: contents remain
-	// nondeterministic across runs (Figure 5).
-	if comp.Coordination == CoordDynamicOrder && out.Severity() < core.Run.Severity() {
-		out = core.Run
-	}
-	for _, s := range g.StreamsOutOf(comp.Name, node.iface) {
+	for _, s := range idx.outOf[[2]string{comp.Name, node.iface}] {
 		a.StreamLabels[s.Name] = out
 	}
 }
 
 // inputLabels gathers the labels of every stream feeding comp.iface; an
 // unconnected input defaults to Async.
-func (a *Analysis) inputLabels(g *Graph, comp, iface string) []core.Label {
+func inputLabels(idx *streamIndex, labels map[string]core.Label, comp, iface string) []core.Label {
 	var out []core.Label
-	for _, s := range g.StreamsInto(comp, iface) {
-		if l, ok := a.StreamLabels[s.Name]; ok {
+	for _, s := range idx.into[[2]string{comp, iface}] {
+		if l, ok := labels[s.Name]; ok {
 			out = append(out, l)
 		} else {
 			out = append(out, core.Async)
@@ -222,15 +268,6 @@ func sourceLabel(s *Stream) core.Label {
 		return core.SealOn(s.Seal)
 	}
 	return core.Async
-}
-
-func anyOutStreamRep(g *Graph, comp, iface string) bool {
-	for _, s := range g.StreamsOutOf(comp, iface) {
-		if s.Rep {
-			return true
-		}
-	}
-	return false
 }
 
 // Label returns the derived label of the named stream.

@@ -6,6 +6,7 @@
 package dataflow
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -91,6 +92,33 @@ func (c *Component) AddPath(from, to string, ann core.Annotation) *Component {
 	c.inputs[from] = true
 	c.outputs[to] = true
 	return c
+}
+
+// SetPathAnn replaces the annotation of every from→to path and reports
+// whether at least one path matched. The interface sets are unchanged, so
+// the mutation cannot invalidate streams.
+func (c *Component) SetPathAnn(from, to string, ann core.Annotation) bool {
+	found := false
+	for i := range c.Paths {
+		if c.Paths[i].From == from && c.Paths[i].To == to {
+			c.Paths[i].Ann = ann
+			found = true
+		}
+	}
+	return found
+}
+
+// SetPaths replaces the component's paths wholesale (e.g. when a spec
+// variant is re-selected) and rebuilds the interface sets. Streams wired to
+// interfaces that no longer exist are caught by the next Validate.
+func (c *Component) SetPaths(paths []Path) {
+	c.Paths = append(c.Paths[:0:0], paths...)
+	c.inputs = map[string]bool{}
+	c.outputs = map[string]bool{}
+	for _, p := range c.Paths {
+		c.inputs[p.From] = true
+		c.outputs[p.To] = true
+	}
 }
 
 // PathsFrom returns the paths reading the given input interface.
@@ -209,6 +237,23 @@ func (g *Graph) Sink(name, fromComp, fromIface string) *Stream {
 // Stream returns the named stream, or nil.
 func (g *Graph) Stream(name string) *Stream { return g.byName[name] }
 
+// RemoveStream deletes the named stream from the graph and reports whether
+// it existed. Declaration order of the remaining streams is preserved.
+func (g *Graph) RemoveStream(name string) bool {
+	if _, ok := g.byName[name]; !ok {
+		return false
+	}
+	delete(g.byName, name)
+	kept := g.streams[:0]
+	for _, s := range g.streams {
+		if s.Name != name {
+			kept = append(kept, s)
+		}
+	}
+	g.streams = kept
+	return true
+}
+
 // Streams returns all streams in declaration order.
 func (g *Graph) Streams() []*Stream { return g.streams }
 
@@ -236,37 +281,40 @@ func (g *Graph) StreamsOutOf(comp, iface string) []*Stream {
 
 // Validate checks structural sanity: stream endpoints must reference
 // declared components and interfaces used by at least one path, and every
-// component must have at least one path.
+// component must have at least one path. Every problem is reported — the
+// collected errors, each naming the offending component or stream, are
+// joined with errors.Join so a construction site can fix them in one pass.
+// Components are checked in name order and streams in declaration order,
+// so the message is deterministic.
 func (g *Graph) Validate() error {
-	for name, c := range g.components {
-		if len(c.Paths) == 0 {
-			return fmt.Errorf("dataflow: component %q has no annotated paths", name)
+	var errs []error
+	for _, name := range sortedKeys2(g.components) {
+		if len(g.components[name].Paths) == 0 {
+			errs = append(errs, fmt.Errorf("dataflow: component %q has no annotated paths", name))
 		}
 	}
 	for _, s := range g.streams {
 		if !s.IsSource() {
 			c, ok := g.components[s.FromComp]
 			if !ok {
-				return fmt.Errorf("dataflow: stream %q: unknown producer component %q", s.Name, s.FromComp)
-			}
-			if !c.outputs[s.FromIface] {
-				return fmt.Errorf("dataflow: stream %q: component %q has no output interface %q", s.Name, s.FromComp, s.FromIface)
+				errs = append(errs, fmt.Errorf("dataflow: stream %q: unknown producer component %q", s.Name, s.FromComp))
+			} else if !c.outputs[s.FromIface] {
+				errs = append(errs, fmt.Errorf("dataflow: stream %q: component %q has no output interface %q", s.Name, s.FromComp, s.FromIface))
 			}
 		}
 		if !s.IsSink() {
 			c, ok := g.components[s.ToComp]
 			if !ok {
-				return fmt.Errorf("dataflow: stream %q: unknown consumer component %q", s.Name, s.ToComp)
-			}
-			if !c.inputs[s.ToIface] {
-				return fmt.Errorf("dataflow: stream %q: component %q has no input interface %q", s.Name, s.ToComp, s.ToIface)
+				errs = append(errs, fmt.Errorf("dataflow: stream %q: unknown consumer component %q", s.Name, s.ToComp))
+			} else if !c.inputs[s.ToIface] {
+				errs = append(errs, fmt.Errorf("dataflow: stream %q: component %q has no input interface %q", s.Name, s.ToComp, s.ToIface))
 			}
 		}
 		if s.IsSource() && s.IsSink() {
-			return fmt.Errorf("dataflow: stream %q connects nothing to nothing", s.Name)
+			errs = append(errs, fmt.Errorf("dataflow: stream %q connects nothing to nothing", s.Name))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Clone deep-copies the graph so strategies can be applied to a copy.

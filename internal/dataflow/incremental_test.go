@@ -1,0 +1,257 @@
+package dataflow
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"blazes/internal/core"
+	"blazes/internal/fd"
+)
+
+// fullEqual asserts an incremental analysis matches a fresh one on every
+// observable: stream labels, verdict, and the full rendered derivation.
+func fullEqual(t *testing.T, tag string, inc, fresh *Analysis) {
+	t.Helper()
+	if got, want := inc.Verdict.String(), fresh.Verdict.String(); got != want {
+		t.Fatalf("%s: verdict = %s, want %s", tag, got, want)
+	}
+	if len(inc.StreamLabels) != len(fresh.StreamLabels) {
+		t.Fatalf("%s: %d stream labels, want %d", tag, len(inc.StreamLabels), len(fresh.StreamLabels))
+	}
+	for name, l := range fresh.StreamLabels {
+		if !inc.StreamLabels[name].Equal(l) {
+			t.Fatalf("%s: label(%s) = %s, want %s", tag, name, inc.StreamLabels[name], l)
+		}
+	}
+	if got, want := inc.Explain(), fresh.Explain(); got != want {
+		t.Fatalf("%s: derivation differs:\n got: %s\nwant: %s", tag, got, want)
+	}
+}
+
+// TestIncrementalMatchesFreshOnPaperGraphs drives the built-in graphs
+// through annotation and seal flips and checks every re-analysis against a
+// fresh full analysis of the same graph.
+func TestIncrementalMatchesFreshOnPaperGraphs(t *testing.T) {
+	graphs := []*Graph{
+		WordcountTopology(false),
+		WordcountTopology(true),
+		AdNetwork(THRESH),
+		AdNetwork(CAMPAIGN, "campaign"),
+	}
+	ctx := context.Background()
+	for _, g := range graphs {
+		inc := NewIncremental(g.Clone())
+		a, _, err := inc.Analyze(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		fresh, err := Analyze(inc.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullEqual(t, g.Name, a, fresh)
+	}
+}
+
+// TestIncrementalAnnotationFlip: flipping one acyclic component's
+// annotation re-derives only its downstream closure and still matches a
+// fresh analysis.
+func TestIncrementalAnnotationFlip(t *testing.T) {
+	ctx := context.Background()
+	inc := NewIncremental(AdNetwork(CAMPAIGN, "campaign"))
+	if _, stats, err := inc.Analyze(ctx); err != nil || !stats.Rebuilt {
+		t.Fatalf("first analyze: stats=%+v err=%v", stats, err)
+	}
+
+	report := inc.Graph().Lookup("Report")
+	for i, q := range []AdQuery{THRESH, POOR, CAMPAIGN, WINDOW, CAMPAIGN} {
+		if !report.SetPathAnn("request", "response", q.Annotation()) {
+			t.Fatal("path not found")
+		}
+		inc.NoteAnnotationChange("Report")
+		a, stats, err := inc.Analyze(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rebuilt {
+			t.Fatalf("flip %d (%s): structural rebuild for an annotation flip", i, q)
+		}
+		if len(stats.Recomputed) == 0 {
+			t.Fatalf("flip %d (%s): nothing recomputed", i, q)
+		}
+		fresh, err := Analyze(inc.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullEqual(t, string(q), a, fresh)
+	}
+}
+
+// TestIncrementalCyclicAnnotationFlip: annotation changes on a component
+// that lies on an interface-level cycle degrade to a structural rebuild and
+// still match.
+func TestIncrementalCyclicAnnotationFlip(t *testing.T) {
+	ctx := context.Background()
+	inc := NewIncremental(AdNetwork(THRESH))
+	if _, _, err := inc.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cache := inc.Graph().Lookup("Cache")
+	if !cache.SetPathAnn("response", "response", core.OWStar()) {
+		t.Fatal("path not found")
+	}
+	inc.NoteAnnotationChange("Cache")
+	a, stats, err := inc.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Rebuilt {
+		t.Fatal("cyclic annotation change should rebuild the structure")
+	}
+	fresh, err := Analyze(inc.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullEqual(t, "cyclic-flip", a, fresh)
+}
+
+// TestIncrementalSealFlip: sealing and unsealing a source stream matches a
+// fresh analysis without a structural rebuild.
+func TestIncrementalSealFlip(t *testing.T) {
+	ctx := context.Background()
+	inc := NewIncremental(WordcountTopology(false))
+	if _, _, err := inc.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range []fd.AttrSet{fd.NewAttrSet("batch"), {}, fd.NewAttrSet("batch", "word")} {
+		inc.Graph().Stream("tweets").Seal = key
+		inc.NoteStreamChange("tweets")
+		a, stats, err := inc.Analyze(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rebuilt {
+			t.Fatalf("flip %d: seal flip rebuilt the structure", i)
+		}
+		fresh, err := Analyze(inc.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullEqual(t, "seal", a, fresh)
+	}
+}
+
+// TestIncrementalTopologyMutations: adding and removing streams and
+// components forces a rebuild and matches.
+func TestIncrementalTopologyMutations(t *testing.T) {
+	ctx := context.Background()
+	inc := NewIncremental(WordcountTopology(true))
+	if _, _, err := inc.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g := inc.Graph()
+
+	// Tap the counts stream into a new auditing component.
+	g.Component("Audit").AddPath("counts", "log", core.CW)
+	g.Connect("audit-in", "Count", "counts", "Audit", "counts")
+	g.Sink("audit-log", "Audit", "log")
+	inc.NoteTopologyChange()
+	a, stats, err := inc.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Rebuilt {
+		t.Fatal("topology change should rebuild")
+	}
+	fresh, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullEqual(t, "add", a, fresh)
+
+	// Remove the tap again.
+	if !g.RemoveStream("audit-in") || !g.RemoveStream("audit-log") {
+		t.Fatal("RemoveStream failed")
+	}
+	g.Lookup("Audit").SetPaths(nil)
+	inc.NoteTopologyChange()
+	if _, _, err := inc.Analyze(ctx); err == nil {
+		t.Fatal("component with no paths should fail validation")
+	}
+	// Restore a valid path and re-analyze.
+	g.Lookup("Audit").SetPaths([]Path{{From: "counts", To: "log", Ann: core.CW}})
+	inc.NoteTopologyChange()
+	if _, _, err := inc.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalNoChangeReturnsCached: analyzing twice without a mutation
+// reuses the whole analysis.
+func TestIncrementalNoChangeReturnsCached(t *testing.T) {
+	ctx := context.Background()
+	inc := NewIncremental(AdNetwork(POOR))
+	a1, _, err := inc.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, stats, err := inc.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("unchanged session should return the cached analysis")
+	}
+	if len(stats.Recomputed) != 0 {
+		t.Fatalf("recomputed %v on a no-op", stats.Recomputed)
+	}
+}
+
+// TestIncrementalCancellation: a cancelled context aborts the analysis.
+func TestIncrementalCancellation(t *testing.T) {
+	inc := NewIncremental(AdNetwork(THRESH))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := inc.Analyze(ctx); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+// TestIncrementalRandomizedFlips drives random annotation/seal flips on the
+// wordcount and checks each against fresh analysis.
+func TestIncrementalRandomizedFlips(t *testing.T) {
+	ctx := context.Background()
+	anns := []core.Annotation{core.CR, core.CW, core.ORGate("word"), core.OWGate("word", "batch"), core.ORStar(), core.OWStar()}
+	rng := rand.New(rand.NewSource(7))
+	inc := NewIncremental(WordcountTopology(true))
+	if _, _, err := inc.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	comps := []string{"Splitter", "Count", "Commit"}
+	for i := 0; i < 60; i++ {
+		name := comps[rng.Intn(len(comps))]
+		c := inc.Graph().Lookup(name)
+		p := c.Paths[rng.Intn(len(c.Paths))]
+		c.SetPathAnn(p.From, p.To, anns[rng.Intn(len(anns))])
+		inc.NoteAnnotationChange(name)
+		if rng.Intn(3) == 0 {
+			s := inc.Graph().Stream("tweets")
+			if s.Seal.IsEmpty() {
+				s.Seal = fd.NewAttrSet("batch")
+			} else {
+				s.Seal = fd.AttrSet{}
+			}
+			inc.NoteStreamChange("tweets")
+		}
+		a, _, err := inc.Analyze(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Analyze(inc.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullEqual(t, "rand", a, fresh)
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -86,6 +87,12 @@ func engineForFig11() storm.Config {
 // concurrently on a worker pool and aggregate in cell order: the rows are
 // identical to a sequential sweep.
 func Fig11(cfg Fig11Config) ([]Fig11Row, error) {
+	return Fig11Context(context.Background(), cfg)
+}
+
+// Fig11Context is Fig11 with cancellation: once ctx is done, sweep workers
+// stop picking up new cells and the sweep returns the context's error.
+func Fig11Context(ctx context.Context, cfg Fig11Config) ([]Fig11Row, error) {
 	runs := cfg.Runs
 	if runs <= 0 {
 		runs = 1
@@ -113,7 +120,7 @@ func Fig11(cfg Fig11Config) ([]Fig11Row, error) {
 	if cfg.Parallelism != 0 && cfg.Parallelism != 1 {
 		pool = sim.NewPool(cfg.Parallelism)
 	}
-	pool.Map(len(cells), func(i int) {
+	if err := pool.MapContext(ctx, len(cells), func(i int) {
 		c := cells[i]
 		w := cfg.ClusterSizes[c.size]
 		engine := engineForFig11()
@@ -138,7 +145,9 @@ func Fig11(cfg Fig11Config) ([]Fig11Row, error) {
 		}
 		acked := float64(res.Metrics.AckedBatches) * float64(cfg.TuplesPerBatch) * float64(w)
 		tputs[i] = acked / cfg.Duration.Seconds()
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,6 +54,13 @@ type AdFigureConfig struct {
 // Fig12Or13 runs the four curves of Figure 12 (5 ad servers) or Figure 13
 // (10 ad servers).
 func Fig12Or13(cfg AdFigureConfig) (*AdFigure, error) {
+	return Fig12Or13Context(context.Background(), cfg)
+}
+
+// Fig12Or13Context is Fig12Or13 with cancellation: once ctx is done, sweep
+// workers stop picking up new curves and the figure returns the context's
+// error.
+func Fig12Or13Context(ctx context.Context, cfg AdFigureConfig) (*AdFigure, error) {
 	fig := &AdFigure{
 		Title:     fmt.Sprintf("Log records processed over time, %d ad servers", cfg.AdServers),
 		AdServers: cfg.AdServers,
@@ -82,7 +90,7 @@ func Fig12Or13(cfg AdFigureConfig) (*AdFigure, error) {
 	if cfg.Parallelism != 0 && cfg.Parallelism != 1 {
 		pool = sim.NewPool(cfg.Parallelism)
 	}
-	pool.Map(len(included), func(i int) {
+	if err := pool.MapContext(ctx, len(included), func(i int) {
 		v := included[i]
 		rc := adtrack.DefaultConfig(cfg.AdServers, v.regime, v.independent)
 		rc.Seed = cfg.Seed
@@ -94,7 +102,9 @@ func Fig12Or13(cfg AdFigureConfig) (*AdFigure, error) {
 			rc.Workload.BatchSize = cfg.BatchSize
 		}
 		results[i], errs[i] = adtrack.Run(rc)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for i, v := range included {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("%s: %w", v.label, errs[i])

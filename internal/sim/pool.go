@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -43,8 +44,16 @@ func (p *Pool) Size() int {
 // A nil or size-1 pool runs every index inline, in order — the sequential
 // semantics every parallel caller must be byte-identical to.
 func (p *Pool) Map(n int, fn func(i int)) {
+	_ = p.MapContext(context.Background(), n, fn)
+}
+
+// MapContext is Map with cancellation: once ctx is done, workers stop
+// picking up new indexes and MapContext returns ctx.Err() after the ones in
+// flight finish. Results are only complete when the error is nil — a
+// cancelled sweep's outputs must be discarded, not merged.
+func (p *Pool) MapContext(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers := p.Size()
 	if workers > n {
@@ -52,9 +61,12 @@ func (p *Pool) Map(n int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var (
 		next     atomic.Int64
@@ -62,6 +74,7 @@ func (p *Pool) Map(n int, fn func(i int)) {
 		mu       sync.Mutex
 		panicked any
 	)
+	done := ctx.Done()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -76,6 +89,13 @@ func (p *Pool) Map(n int, fn func(i int)) {
 				}
 			}()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -88,4 +108,5 @@ func (p *Pool) Map(n int, fn func(i int)) {
 	if panicked != nil {
 		panic(panicked)
 	}
+	return ctx.Err()
 }

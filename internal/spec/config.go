@@ -314,6 +314,40 @@ func (c *Config) Graph(name string, opts BuildOptions) (*dataflow.Graph, error) 
 	return g, nil
 }
 
+// VariantPaths resolves the annotated paths a component would get when the
+// given variant is selected ("" selects the base annotations only). It is
+// what lets an analysis session re-select a variant without rebuilding the
+// whole graph.
+func (c *Config) VariantPaths(name, variant string) ([]dataflow.Path, error) {
+	comp := c.Component(name)
+	if comp == nil {
+		return nil, fmt.Errorf("spec: unknown component %q", name)
+	}
+	anns := append([]AnnotationSpec(nil), comp.Annotations...)
+	if variant != "" {
+		spec, ok := comp.Variants[variant]
+		if !ok {
+			return nil, fmt.Errorf("spec: component %q has no variant %q (have %v)",
+				name, variant, comp.VariantOrder)
+		}
+		anns = append(anns, spec)
+	}
+	var paths []dataflow.Path
+	for _, a := range anns {
+		ann, err := core.ParseAnnotation(a.Label, a.Subscript)
+		if err != nil {
+			return nil, fmt.Errorf("spec: component %q: %w", name, err)
+		}
+		paths = append(paths, dataflow.Path{From: a.From, To: a.To, Ann: ann})
+	}
+	return paths, nil
+}
+
+// SplitEndpoint splits a "Component.iface" endpoint ("" stays empty for
+// source/sink ends) — the wire syntax the topology section and the service
+// mutate ops share.
+func SplitEndpoint(s string) (comp, iface string, err error) { return splitEndpoint(s) }
+
 // splitEndpoint splits "Component.iface" ("" stays empty for source/sink
 // ends).
 func splitEndpoint(s string) (comp, iface string, err error) {

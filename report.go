@@ -10,7 +10,12 @@ import (
 
 // ReportVersion identifies the Report JSON schema. Consumers should reject
 // versions they do not understand; the schema only grows within a version.
-const ReportVersion = "blazes.report/v1"
+// v2 adds the optional Delta section produced by analysis sessions; v1
+// documents (which never carry a delta) still decode.
+const (
+	ReportVersion   = "blazes.report/v2"
+	ReportVersionV1 = "blazes.report/v1"
+)
 
 // Report is the stable machine-readable projection of a Result: every
 // stream's derived label, every component's derivation, the verdict, and
@@ -35,6 +40,56 @@ type Report struct {
 	// Repaired marks a post-repair fixpoint report: Strategies have been
 	// applied and the labels reflect the coordinated dataflow.
 	Repaired bool `json:"repaired,omitempty"`
+	// Delta, present on session re-analyses only, records what changed
+	// since the session's previous analysis. One-shot analyzer reports and
+	// a session's first analysis omit it.
+	Delta *Delta `json:"delta,omitempty"`
+}
+
+// Delta is the difference between two consecutive analyses of one session:
+// the repair loop reads it to see exactly what an annotation flip, seal, or
+// rewiring bought.
+type Delta struct {
+	// Since is the session-local sequence number of the analysis this
+	// delta is relative to (the first analysis is 1).
+	Since int `json:"since"`
+	// Streams lists the streams whose derived label changed, in name
+	// order. Streams that appeared or disappeared carry a zero Before or
+	// After label (kind "").
+	Streams []StreamDelta `json:"streams,omitempty"`
+	// Verdict is present when the dataflow verdict changed.
+	Verdict *VerdictDelta `json:"verdict,omitempty"`
+	// Strategies lists per-component strategy changes (both reports must
+	// carry strategies for the comparison to be meaningful; a plain
+	// Analyze after a Synthesize records no strategy delta).
+	Strategies []StrategyDelta `json:"strategies,omitempty"`
+	// Recomputed lists the components whose derivation was actually
+	// re-run by the incremental engine; everything else was served from
+	// the memo. Sorted by name.
+	Recomputed []string `json:"recomputed,omitempty"`
+	// Reused counts output-interface derivations served from the memo.
+	Reused int `json:"reused"`
+}
+
+// StreamDelta is one stream label change.
+type StreamDelta struct {
+	Name   string      `json:"name"`
+	Before LabelReport `json:"before"`
+	After  LabelReport `json:"after"`
+}
+
+// VerdictDelta is the verdict change.
+type VerdictDelta struct {
+	Before LabelReport `json:"before"`
+	After  LabelReport `json:"after"`
+}
+
+// StrategyDelta is one component's strategy change; a nil Before marks a
+// strategy that appeared, a nil After one that disappeared.
+type StrategyDelta struct {
+	Component string          `json:"component"`
+	Before    *StrategyReport `json:"before,omitempty"`
+	After     *StrategyReport `json:"after,omitempty"`
 }
 
 // LabelReport is a stream label in wire form.
@@ -178,13 +233,26 @@ func (r *Result) Report() *Report {
 		Deterministic: an.Deterministic(),
 		Repaired:      r.repaired,
 	}
+	rep.Streams = streamReportsOf(an)
+	for _, n := range componentNamesOf(an) {
+		rep.Components = append(rep.Components, componentReportOf(an, n))
+	}
+	for _, st := range r.strategies {
+		rep.Strategies = append(rep.Strategies, strategyReport(st))
+	}
+	return rep
+}
 
+// streamReportsOf projects every stream of the analyzed (collapsed) graph,
+// in name order.
+func streamReportsOf(an *Analysis) []StreamReport {
 	streams := an.Collapsed.Streams()
 	byName := make([]*dataflow.Stream, len(streams))
 	copy(byName, streams)
 	sort.Slice(byName, func(i, j int) bool { return byName[i].Name < byName[j].Name })
+	out := make([]StreamReport, 0, len(byName))
 	for _, s := range byName {
-		rep.Streams = append(rep.Streams, StreamReport{
+		out = append(out, StreamReport{
 			Name:       s.Name,
 			From:       endpoint(s.FromComp, s.FromIface),
 			To:         endpoint(s.ToComp, s.ToIface),
@@ -193,58 +261,60 @@ func (r *Result) Report() *Report {
 			Replicated: s.Rep,
 		})
 	}
+	return out
+}
 
+// componentNamesOf returns the analyzed component names in name order.
+func componentNamesOf(an *Analysis) []string {
 	names := make([]string, 0, len(an.Components))
 	for n := range an.Components {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		ca := an.Components[n]
-		cr := ComponentReport{Name: n}
-		if comp := an.Collapsed.Lookup(n); comp != nil {
-			cr.Replicated = comp.Rep
-			if comp.Coordination != CoordNone {
-				cr.Coordination = MechanismToken(comp.Coordination)
-			}
-		}
-		for _, st := range ca.Steps {
-			cr.Steps = append(cr.Steps, StepReport{
-				Input:      labelReport(st.In),
-				Annotation: st.Ann.String(),
-				Rule:       string(st.Rule),
-				Output:     labelReport(st.Out),
-			})
-		}
-		ifaces := make([]string, 0, len(ca.Reconciliations))
-		for iface := range ca.Reconciliations {
-			ifaces = append(ifaces, iface)
-		}
-		sort.Strings(ifaces)
-		for _, iface := range ifaces {
-			rec := ca.Reconciliations[iface]
-			rr := ReconciliationReport{
-				Interface: iface,
-				Output:    labelReport(rec.Output),
-			}
-			for _, l := range rec.Input {
-				rr.Inputs = append(rr.Inputs, labelReport(l))
-			}
-			for _, l := range rec.Added {
-				rr.Added = append(rr.Added, labelReport(l))
-			}
-			if len(rec.Notes) > 0 {
-				rr.Notes = append([]string(nil), rec.Notes...)
-			}
-			cr.Outputs = append(cr.Outputs, rr)
-		}
-		rep.Components = append(rep.Components, cr)
-	}
+	return names
+}
 
-	for _, st := range r.strategies {
-		rep.Strategies = append(rep.Strategies, strategyReport(st))
+// componentReportOf projects one component's derivation record.
+func componentReportOf(an *Analysis, n string) ComponentReport {
+	ca := an.Components[n]
+	cr := ComponentReport{Name: n}
+	if comp := an.Collapsed.Lookup(n); comp != nil {
+		cr.Replicated = comp.Rep
+		if comp.Coordination != CoordNone {
+			cr.Coordination = MechanismToken(comp.Coordination)
+		}
 	}
-	return rep
+	for _, st := range ca.Steps {
+		cr.Steps = append(cr.Steps, StepReport{
+			Input:      labelReport(st.In),
+			Annotation: st.Ann.String(),
+			Rule:       string(st.Rule),
+			Output:     labelReport(st.Out),
+		})
+	}
+	ifaces := make([]string, 0, len(ca.Reconciliations))
+	for iface := range ca.Reconciliations {
+		ifaces = append(ifaces, iface)
+	}
+	sort.Strings(ifaces)
+	for _, iface := range ifaces {
+		rec := ca.Reconciliations[iface]
+		rr := ReconciliationReport{
+			Interface: iface,
+			Output:    labelReport(rec.Output),
+		}
+		for _, l := range rec.Input {
+			rr.Inputs = append(rr.Inputs, labelReport(l))
+		}
+		for _, l := range rec.Added {
+			rr.Added = append(rr.Added, labelReport(l))
+		}
+		if len(rec.Notes) > 0 {
+			rr.Notes = append([]string(nil), rec.Notes...)
+		}
+		cr.Outputs = append(cr.Outputs, rr)
+	}
+	return cr
 }
 
 // MarshalIndent renders the report as indented JSON (the `blazes -json`
@@ -254,14 +324,15 @@ func (r *Report) MarshalIndent() ([]byte, error) {
 }
 
 // DecodeReport parses a Report from JSON, rejecting unknown schema
-// versions.
+// versions. Both the current v2 schema and the delta-free v1 schema
+// decode; the document keeps the version it was written with.
 func DecodeReport(data []byte) (*Report, error) {
 	var rep Report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("blazes: decoding report: %w", err)
 	}
-	if rep.Version != ReportVersion {
-		return nil, fmt.Errorf("blazes: unsupported report version %q (want %q)", rep.Version, ReportVersion)
+	if rep.Version != ReportVersion && rep.Version != ReportVersionV1 {
+		return nil, fmt.Errorf("blazes: unsupported report version %q (want %q or %q)", rep.Version, ReportVersion, ReportVersionV1)
 	}
 	return &rep, nil
 }

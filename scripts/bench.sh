@@ -3,7 +3,7 @@
 # JSON.
 #
 # Usage:
-#   scripts/bench.sh                 # 5 runs per benchmark -> BENCH_4.json
+#   scripts/bench.sh                 # 5 runs per benchmark -> BENCH_5.json
 #   scripts/bench.sh -quick          # <1-minute smoke signal -> BENCH_quick.json
 #   COUNT=3 OUT=/tmp/b.json scripts/bench.sh
 #
@@ -13,9 +13,12 @@
 #
 # -quick mode is for contributors who want a fast signal: one run per
 # benchmark with the Figure 11 sweep reduced via BLAZES_BENCH_QUICK (the
-# full-size sweep dominates the suite's runtime). Quick numbers are a smoke
-# signal only — Fig11's workload differs from the baseline's, so never
-# compare BENCH_quick.json against BENCH_*.json or commit it as a baseline.
+# full-size sweep dominates the suite's runtime). The fast analysis
+# benchmarks — including BenchmarkSessionReanalyze vs BenchmarkFullReanalyze,
+# the incremental-session speedup pair — run at full fidelity in both
+# modes. Quick numbers are a smoke signal only — Fig11's workload differs
+# from the baseline's, so never compare BENCH_quick.json against
+# BENCH_*.json or commit it as a baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,7 +38,7 @@ if [[ "$QUICK" == 1 ]]; then
 	export BLAZES_BENCH_QUICK=1
 else
 	COUNT="${COUNT:-5}"
-	OUT="${OUT:-BENCH_4.json}"
+	OUT="${OUT:-BENCH_5.json}"
 fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # bench_diff.sh — smoke-run every benchmark once and diff ns/op against the
-# recorded baseline (BENCH_4.json).
+# recorded baseline (BENCH_5.json).
 #
 # Usage:
-#   scripts/bench_diff.sh                     # threshold 3.0× vs BENCH_4.json
-#   BASELINE=BENCH_4.json THRESHOLD=2.5 scripts/bench_diff.sh
+#   scripts/bench_diff.sh                     # threshold 3.0× vs BENCH_5.json
+#   BASELINE=BENCH_5.json THRESHOLD=2.5 scripts/bench_diff.sh
 #
 # Exits 1 when any benchmark is more than THRESHOLD× slower than its
 # baseline mean. Single-iteration numbers are noisy and CI hardware differs
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${BASELINE:-BENCH_4.json}"
+BASELINE="${BASELINE:-BENCH_5.json}"
 THRESHOLD="${THRESHOLD:-3.0}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end smoke test of `blazes serve`: boot the
+# service on a free port, drive one create → mutate → analyze → verify
+# round trip over HTTP, send SIGTERM, and assert a clean (exit 0) shutdown.
+# CI runs this as the service job; it is also the quickest local sanity
+# check after touching blazes/service or cmd/blazes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/blazes"
+OUT="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+	[[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$(dirname "$BIN")" "$OUT"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/blazes
+
+"$BIN" serve -addr 127.0.0.1:0 -max-sessions 8 >"$OUT" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the announced listen address.
+BASE=""
+for _ in $(seq 1 100); do
+	BASE="$(sed -n 's/.*serving on \(http:\/\/[^ ]*\).*/\1/p' "$OUT" | head -1)"
+	[[ -n "$BASE" ]] && break
+	kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died during startup:"; cat "$OUT"; exit 1; }
+	sleep 0.1
+done
+[[ -n "$BASE" ]] || { echo "server never announced its address:"; cat "$OUT"; exit 1; }
+echo "serving at $BASE"
+
+fetch() { # method path [body]
+	local method=$1 path=$2 body=${3:-}
+	if [[ -n "$body" ]]; then
+		curl -fsS -X "$method" -H 'Content-Type: application/json' -d "$body" "$BASE$path"
+	else
+		curl -fsS -X "$method" "$BASE$path"
+	fi
+}
+
+expect() { # label haystack needle
+	local label=$1 hay=$2 needle=$3
+	if [[ "$hay" != *"$needle"* ]]; then
+		echo "FAIL: $label response missing '$needle':"
+		echo "$hay"
+		exit 1
+	fi
+	echo "ok: $label"
+}
+
+SPEC='Count:\n  annotation: {from: words, to: counts, label: OW, subscript: [word, batch]}\ntopology:\n  sources:\n    - {name: words, to: Count.words}\n  sinks:\n    - {name: counts, from: Count.counts}\n'
+
+expect healthz "$(fetch GET /healthz)" '"ok": true'
+expect create "$(fetch POST /v1/sessions "{\"name\":\"wc\",\"spec\":\"$SPEC\"}")" '"session": "s1"'
+expect analyze-unsealed "$(fetch POST /v1/sessions/s1/analyze)" '"kind": "Run"'
+expect mutate "$(fetch POST /v1/sessions/s1/mutate '{"ops":[{"op":"seal","stream":"words","key":["batch"]}]}')" '"applied": 1'
+ANALYZE2="$(fetch POST /v1/sessions/s1/analyze '{"synthesize":true}')"
+expect analyze-sealed "$ANALYZE2" '"kind": "Async"'
+expect analyze-delta "$ANALYZE2" '"delta"'
+expect verify "$(fetch POST /v1/verify '{"workloads":["synthetic-set"],"seeds":8,"parallelism":2}')" '"holds": true'
+
+# Graceful shutdown: SIGTERM must yield exit code 0.
+kill -TERM "$SERVER_PID"
+EXIT=0
+wait "$SERVER_PID" || EXIT=$?
+SERVER_PID=""
+if [[ "$EXIT" != 0 ]]; then
+	echo "FAIL: server exited $EXIT after SIGTERM:"
+	cat "$OUT"
+	exit 1
+fi
+grep -q "shut down cleanly" "$OUT" || { echo "FAIL: no clean-shutdown message:"; cat "$OUT"; exit 1; }
+echo "ok: clean shutdown"
+echo "service smoke test passed"

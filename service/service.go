@@ -1,0 +1,496 @@
+// Package service embeds the Blazes analysis as a long-running HTTP+JSON
+// service: the `blazes serve` subcommand is a thin wrapper around it, and
+// any Go program can mount Server.Handler on its own mux. The service
+// hosts concurrent analysis sessions (blazes.Session) behind an LRU bound,
+// so a client drives the paper's repair loop over the wire: create a
+// session from a spec, mutate it (seal, annotate, re-select variants,
+// rewire), and re-analyze incrementally — each analysis returns a Report
+// v2 whose Delta section says exactly what the last mutation changed.
+// Request contexts are honored end to end: an aborted analyze or verify
+// request cancels the underlying derivation or schedule sweep.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/sessions              create a session from a spec
+//	GET    /v1/sessions              list open sessions
+//	GET    /v1/sessions/{id}         inspect one session
+//	POST   /v1/sessions/{id}/mutate  apply a batch of mutations in order
+//	POST   /v1/sessions/{id}/analyze incremental (re-)analysis → Report v2
+//	DELETE /v1/sessions/{id}         close a session
+//	POST   /v1/verify                run schedule-exploration verification
+//	GET    /healthz                  liveness + session count
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"blazes"
+	"blazes/verify"
+)
+
+// DefaultMaxSessions bounds the number of concurrently open sessions when
+// Options.MaxSessions is zero.
+const DefaultMaxSessions = 64
+
+// Options configures a Server.
+type Options struct {
+	// MaxSessions caps concurrently open sessions; the least recently
+	// used session is evicted when a create would exceed it. 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
+}
+
+// Server hosts analysis sessions. Create one with New and mount Handler on
+// an http.Server (or use the `blazes serve` subcommand). Methods are safe
+// for concurrent use.
+type Server struct {
+	mu     sync.Mutex
+	max    int
+	nextID int
+	byID   map[string]*entry
+	// lru orders entries most-recently-used first.
+	lru *list.List
+}
+
+type entry struct {
+	id   string
+	name string
+	sess *blazes.Session
+	elem *list.Element
+}
+
+// New creates an empty server.
+func New(opts Options) *Server {
+	max := opts.MaxSessions
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	return &Server{max: max, byID: map[string]*entry{}, lru: list.New()}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/mutate", s.handleMutate)
+	mux.HandleFunc("POST /v1/sessions/{id}/analyze", s.handleAnalyze)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// SessionCount reports the number of open sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// touch marks an entry most recently used; the caller holds s.mu.
+func (s *Server) touch(e *entry) { s.lru.MoveToFront(e.elem) }
+
+// lookup fetches an entry and bumps its recency.
+func (s *Server) lookup(id string) (*entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if ok {
+		s.touch(e)
+	}
+	return e, ok
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ErrorResponse is the wire form of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Applied counts the mutate ops applied before the failing one
+	// (mutate responses only).
+	Applied int `json:"applied,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds every request body the service will buffer.
+const maxBodyBytes = 8 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// decodeOptionalBody is decodeBody for endpoints whose body may be empty
+// (an empty body leaves v at its zero value). Detection is by actually
+// decoding — not by Content-Length, which chunked requests don't carry.
+func decodeOptionalBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// CreateRequest opens a session from a Blazes configuration document (the
+// same format `blazes -spec` reads).
+type CreateRequest struct {
+	// Name labels the dataflow; it defaults to "session".
+	Name string `json:"name,omitempty"`
+	// Spec is the configuration text (annotations + topology).
+	Spec string `json:"spec"`
+	// Variants selects named annotation variants per component.
+	Variants map[string]string `json:"variants,omitempty"`
+	// Seals seals streams on the given key attributes before the first
+	// analysis.
+	Seals map[string][]string `json:"seals,omitempty"`
+	// Sequencing prefers M1 sequencing over M2 dynamic ordering whenever
+	// synthesis must order inputs.
+	Sequencing bool `json:"sequencing,omitempty"`
+}
+
+// SessionInfo describes one open session.
+type SessionInfo struct {
+	Session    string   `json:"session"`
+	Name       string   `json:"name"`
+	Version    uint64   `json:"version"`
+	Components []string `json:"components,omitempty"`
+	Streams    []string `json:"streams,omitempty"`
+}
+
+func (s *Server) info(e *entry, detail bool) SessionInfo {
+	si := SessionInfo{Session: e.id, Name: e.name, Version: e.sess.Version()}
+	if detail {
+		si.Components = e.sess.ComponentNames()
+		si.Streams = e.sess.StreamNames()
+	}
+	return si
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Spec == "" {
+		writeError(w, http.StatusBadRequest, "spec is required")
+		return
+	}
+	spec, err := blazes.ParseSpec(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "session"
+	}
+	opts := []blazes.Option{blazes.WithVariants(req.Variants)}
+	if req.Sequencing {
+		opts = append(opts, blazes.PreferSequencing())
+	}
+	for stream, key := range req.Seals {
+		opts = append(opts, blazes.WithSealRepair(stream, key...))
+	}
+	sess, err := spec.OpenSession(name, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	e := &entry{id: fmt.Sprintf("s%d", s.nextID), name: name, sess: sess}
+	e.elem = s.lru.PushFront(e)
+	s.byID[e.id] = e
+	for len(s.byID) > s.max {
+		oldest := s.lru.Back()
+		ev := oldest.Value.(*entry)
+		s.lru.Remove(oldest)
+		delete(s.byID, ev.id)
+	}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, s.info(e, true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	// Snapshot the entries under the store lock, then query each session
+	// after releasing it: Session methods take the session's own mutex,
+	// and a session mid-analysis must not stall requests for the others.
+	s.mu.Lock()
+	entries := make([]*entry, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*entry))
+	}
+	s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, SessionInfo{Session: e.id, Name: e.name, Version: e.sess.Version()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(e, true))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e, ok := s.byID[id]
+	if ok {
+		s.lru.Remove(e.elem)
+		delete(s.byID, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// MutateOp is one mutation; Op selects which fields apply:
+//
+//	{"op":"seal", "stream":"tweets", "key":["batch"]}      seal (empty key unseals)
+//	{"op":"annotate", "component":"Count", "from":"words", "to":"counts",
+//	 "label":"OW", "subscript":["word","batch"]}           replace a path annotation
+//	{"op":"variant", "component":"Report", "variant":"POOR"}
+//	{"op":"connect", "stream":"tap", "from":"Count.counts", "to":""}
+//	{"op":"remove-edge", "stream":"tap"}
+//	{"op":"add-component", "name":"Audit",
+//	 "paths":[{"from":"in","to":"out","label":"CW"}]}
+type MutateOp struct {
+	Op        string    `json:"op"`
+	Stream    string    `json:"stream,omitempty"`
+	Key       []string  `json:"key,omitempty"`
+	Component string    `json:"component,omitempty"`
+	From      string    `json:"from,omitempty"`
+	To        string    `json:"to,omitempty"`
+	Label     string    `json:"label,omitempty"`
+	Subscript []string  `json:"subscript,omitempty"`
+	Variant   string    `json:"variant,omitempty"`
+	Name      string    `json:"name,omitempty"`
+	Paths     []PathDef `json:"paths,omitempty"`
+}
+
+// PathDef declares one annotated path of an add-component op.
+type PathDef struct {
+	From      string   `json:"from"`
+	To        string   `json:"to"`
+	Label     string   `json:"label"`
+	Subscript []string `json:"subscript,omitempty"`
+}
+
+// MutateRequest applies ops in order; the first failure stops the batch
+// (earlier ops stay applied — each op is individually atomic) and the
+// response reports how many were applied.
+type MutateRequest struct {
+	Ops []MutateOp `json:"ops"`
+}
+
+// MutateResponse acknowledges an applied batch.
+type MutateResponse struct {
+	Version uint64 `json:"version"`
+	Applied int    `json:"applied"`
+}
+
+func applyOp(sess *blazes.Session, op MutateOp) error {
+	switch op.Op {
+	case "seal":
+		return sess.SealStream(op.Stream, op.Key...)
+	case "annotate":
+		ann, err := blazes.ParseAnnotation(op.Label, op.Subscript)
+		if err != nil {
+			return err
+		}
+		return sess.Annotate(op.Component, op.From, op.To, ann)
+	case "variant":
+		return sess.SetVariant(op.Component, op.Variant)
+	case "connect":
+		return sess.Connect(op.Stream, op.From, op.To)
+	case "remove-edge":
+		return sess.RemoveEdge(op.Stream)
+	case "add-component":
+		decls := make([]blazes.PathDecl, 0, len(op.Paths))
+		for _, p := range op.Paths {
+			ann, err := blazes.ParseAnnotation(p.Label, p.Subscript)
+			if err != nil {
+				return err
+			}
+			decls = append(decls, blazes.Path(p.From, p.To, ann))
+		}
+		return sess.AddComponent(op.Name, decls...)
+	default:
+		return fmt.Errorf("unknown op %q (want seal, annotate, variant, connect, remove-edge or add-component)", op.Op)
+	}
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var req MutateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "ops is required")
+		return
+	}
+	for i, op := range req.Ops {
+		if err := applyOp(e.sess, op); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error:   fmt.Sprintf("op %d (%s): %v", i, op.Op, err),
+				Applied: i,
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{Version: e.sess.Version(), Applied: len(req.Ops)})
+}
+
+// AnalyzeRequest tunes one analysis; an empty body is a plain Analyze.
+type AnalyzeRequest struct {
+	// Synthesize additionally emits one coordination strategy per
+	// component that needs machinery.
+	Synthesize bool `json:"synthesize,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var req AnalyzeRequest
+	if !decodeOptionalBody(w, r, &req) {
+		return
+	}
+	var (
+		rep *blazes.Report
+		err error
+	)
+	if req.Synthesize {
+		rep, err = e.sess.Synthesize(r.Context())
+	} else {
+		rep, err = e.sess.Analyze(r.Context())
+	}
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			code = http.StatusRequestTimeout
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// VerifyRequest runs the schedule-exploration harness over named built-in
+// workloads (all of them when Workloads is empty).
+type VerifyRequest struct {
+	Workloads []string `json:"workloads,omitempty"`
+	// Seeds is the schedule count per (mechanism, plan) configuration; 0
+	// selects the default (64).
+	Seeds int `json:"seeds,omitempty"`
+	// Parallelism is the sweep worker count (0 = one per CPU, 1 =
+	// sequential); reports are byte-identical at any setting.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Sequencing prefers M1 over M2 where ordering is required.
+	Sequencing bool `json:"sequencing,omitempty"`
+}
+
+// VerifyResponse carries one report per verified workload.
+type VerifyResponse struct {
+	Holds   bool             `json:"holds"`
+	Reports []*verify.Report `json:"reports"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !decodeOptionalBody(w, r, &req) {
+		return
+	}
+	if req.Seeds < 0 {
+		writeError(w, http.StatusBadRequest, "seeds must be non-negative")
+		return
+	}
+	suite := verify.Workloads()
+	selected := suite
+	if len(req.Workloads) > 0 {
+		byName := map[string]verify.Workload{}
+		var names []string
+		for _, wl := range suite {
+			byName[wl.Name()] = wl
+			names = append(names, wl.Name())
+		}
+		selected = nil
+		for _, name := range req.Workloads {
+			wl, ok := byName[name]
+			if !ok {
+				writeError(w, http.StatusBadRequest, "unknown workload %q (workloads: %v)", name, names)
+				return
+			}
+			selected = append(selected, wl)
+		}
+	}
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = -1 // one worker per CPU
+	}
+	opts := verify.Options{Seeds: req.Seeds, PreferSequencing: req.Sequencing, Parallelism: parallelism}
+	resp := VerifyResponse{Holds: true}
+	for _, wl := range selected {
+		rep, err := verify.CheckContext(r.Context(), wl, opts)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if r.Context().Err() != nil {
+				code = http.StatusRequestTimeout
+			}
+			writeError(w, code, "verify %s: %v", wl.Name(), err)
+			return
+		}
+		resp.Reports = append(resp.Reports, rep)
+		resp.Holds = resp.Holds && rep.Holds
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": s.SessionCount()})
+}

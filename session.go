@@ -1,0 +1,580 @@
+package blazes
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"blazes/internal/dataflow"
+	"blazes/internal/fd"
+	ispec "blazes/internal/spec"
+)
+
+// Session is a mutable, incrementally re-analyzed dataflow: the API for the
+// paper's interactive repair loop (annotate → analyze → read the report →
+// seal or sequence → re-analyze). Open one from a Graph or a Spec, mutate
+// it in place, and call Analyze to get a Report that re-derives only the
+// components whose labels can have changed — per-output derivations are
+// memoized and invalidated along the downstream closure of each mutation,
+// so a one-component annotation flip costs a fraction of a full analysis.
+//
+// Mutators validate eagerly and leave the session untouched on error, so a
+// failed call never corrupts the graph. Reports from the second analysis
+// onward carry a Delta section describing what changed since the previous
+// one. A Session serializes its methods internally and is safe for
+// concurrent use (the service hosts many sessions this way); the analyses
+// themselves remain deterministic.
+type Session struct {
+	mu  sync.Mutex
+	cfg config
+	inc *dataflow.Incremental
+	// version mirrors inc.Version() atomically so Version() never blocks
+	// behind a long-running Analyze holding mu (the service lists
+	// sessions while others analyze).
+	version atomic.Uint64
+
+	// spec backs SetVariant; nil for sessions opened from a Graph.
+	spec     *Spec
+	variants map[string]string
+
+	seq       int // completed analyses
+	prev      *Report
+	prevSynth bool
+	last      SessionStats
+	// lastComps is the set of collapsed components re-derived by the
+	// most recent analysis — kept structurally (supernode names and
+	// member-qualified interfaces both contain dots, so the display
+	// strings in SessionStats.Recomputed cannot be parsed back).
+	lastComps map[string]bool
+
+	// Projection caches, valid while the structure is unchanged (reset on
+	// Rebuilt): the name-sorted stream pointers and component names backing
+	// prev.Streams / prev.Components index-for-index.
+	sortedStreams []*dataflow.Stream
+	compNames     []string
+}
+
+// SessionStats describes what the most recent Analyze/Synthesize actually
+// did — the observability hook for the incremental engine.
+type SessionStats struct {
+	// Rebuilt: the structural caches (validation, cycle collapse,
+	// topological order, stream index) were rebuilt.
+	Rebuilt bool
+	// Recomputed lists the output interfaces ("Comp.iface") re-derived, in
+	// propagation order.
+	Recomputed []string
+	// Reused counts output-interface derivations served from the memo.
+	Reused int
+}
+
+// OpenSession starts a session over a deep copy of g (the caller's graph is
+// never mutated). Seal-repair options apply to the session's copy up
+// front; PreferSequencing is remembered for Synthesize. The graph must
+// validate.
+func OpenSession(g *Graph, opts ...Option) (*Session, error) {
+	cfg := buildConfig(opts)
+	ng := g.Clone()
+	for _, sr := range cfg.sealRepairs {
+		s := ng.Stream(sr.stream)
+		if s == nil {
+			return nil, fmt.Errorf("blazes: seal repair: unknown stream %q (declared: %v)", sr.stream, streamNames(ng))
+		}
+		if sr.key.IsEmpty() {
+			return nil, fmt.Errorf("blazes: seal repair on %q needs at least one key attribute", sr.stream)
+		}
+		s.Seal = sr.key
+	}
+	if err := ng.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, inc: dataflow.NewIncremental(ng)}, nil
+}
+
+// OpenSession builds the spec's graph (honoring WithVariant selections) and
+// opens a session over it. Spec-backed sessions additionally support
+// SetVariant.
+func (s *Spec) OpenSession(name string, opts ...Option) (*Session, error) {
+	g, err := s.Graph(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := OpenSession(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sess.spec = s
+	sess.variants = map[string]string{}
+	for comp, v := range buildConfig(opts).variants {
+		sess.variants[comp] = v
+	}
+	return sess, nil
+}
+
+// Version returns the session's mutation counter; it increments once per
+// successful mutation, so two equal versions bracket an unchanged graph.
+// It never blocks, even while an analysis is in flight.
+func (s *Session) Version() uint64 { return s.version.Load() }
+
+// bumped records a successful mutation; the caller holds s.mu.
+func (s *Session) bumped() { s.version.Store(s.inc.Version()) }
+
+// Graph returns a deep copy of the session's current graph (e.g. to hand
+// to a one-shot Analyzer or a differential check).
+func (s *Session) Graph() *Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc.Graph().Clone()
+}
+
+// ComponentNames returns the component names of the current graph in name
+// order — a cheap inspection that avoids cloning the graph.
+func (s *Session) ComponentNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	comps := s.inc.Graph().Components()
+	out := make([]string, len(comps))
+	for i, c := range comps {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// StreamNames returns the stream names of the current graph in
+// declaration order.
+func (s *Session) StreamNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	streams := s.inc.Graph().Streams()
+	out := make([]string, len(streams))
+	for i, st := range streams {
+		out[i] = st.Name
+	}
+	return out
+}
+
+// LastStats reports what the most recent analysis did (zero before the
+// first one).
+func (s *Session) LastStats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// AddComponent declares a new component with the given annotated paths.
+// The name must be unused and at least one path is required.
+func (s *Session) AddComponent(name string, paths ...PathDecl) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		return fmt.Errorf("blazes: session: component name must be non-empty")
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("blazes: session: component %q needs at least one annotated path", name)
+	}
+	g := s.inc.Graph()
+	if g.Lookup(name) != nil {
+		return fmt.Errorf("blazes: session: component %q already exists", name)
+	}
+	for _, p := range paths {
+		if p.From == "" || p.To == "" {
+			return fmt.Errorf("blazes: session: component %q: path needs non-empty interface names", name)
+		}
+	}
+	c := g.Component(name)
+	for _, p := range paths {
+		c.AddPath(p.From, p.To, p.Ann)
+	}
+	s.inc.NoteTopologyChange()
+	s.bumped()
+	return nil
+}
+
+// PathDecl declares one annotated input→output path for AddComponent.
+type PathDecl struct {
+	From, To string
+	Ann      Annotation
+}
+
+// Path builds a PathDecl.
+func Path(from, to string, ann Annotation) PathDecl {
+	return PathDecl{From: from, To: to, Ann: ann}
+}
+
+// Connect wires a new stream between "Component.iface" endpoints; an empty
+// from makes it an external source, an empty to an external sink. Both
+// endpoints must reference interfaces that already exist (declared by some
+// path), so the mutation cannot invalidate the graph.
+func (s *Session) Connect(stream, from, to string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stream == "" {
+		return fmt.Errorf("blazes: session: stream name must be non-empty")
+	}
+	g := s.inc.Graph()
+	if g.Stream(stream) != nil {
+		return fmt.Errorf("blazes: session: duplicate stream name %q", stream)
+	}
+	if from == "" && to == "" {
+		return fmt.Errorf("blazes: session: stream %q connects nothing to nothing", stream)
+	}
+	fromComp, fromIface, err := ispec.SplitEndpoint(from)
+	if err != nil {
+		return fmt.Errorf("blazes: session: stream %q: %w", stream, err)
+	}
+	toComp, toIface, err := ispec.SplitEndpoint(to)
+	if err != nil {
+		return fmt.Errorf("blazes: session: stream %q: %w", stream, err)
+	}
+	if fromComp != "" {
+		c := g.Lookup(fromComp)
+		if c == nil {
+			return fmt.Errorf("blazes: session: stream %q: unknown producer component %q", stream, fromComp)
+		}
+		if len(c.PathsTo(fromIface)) == 0 {
+			return fmt.Errorf("blazes: session: stream %q: component %q has no output interface %q", stream, fromComp, fromIface)
+		}
+	}
+	if toComp != "" {
+		c := g.Lookup(toComp)
+		if c == nil {
+			return fmt.Errorf("blazes: session: stream %q: unknown consumer component %q", stream, toComp)
+		}
+		if len(c.PathsFrom(toIface)) == 0 {
+			return fmt.Errorf("blazes: session: stream %q: component %q has no input interface %q", stream, toComp, toIface)
+		}
+	}
+	g.Connect(stream, fromComp, fromIface, toComp, toIface)
+	s.inc.NoteTopologyChange()
+	s.bumped()
+	return nil
+}
+
+// RemoveEdge deletes the named stream.
+func (s *Session) RemoveEdge(stream string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inc.Graph().RemoveStream(stream) {
+		return fmt.Errorf("blazes: session: unknown stream %q (declared: %v)", stream, streamNames(s.inc.Graph()))
+	}
+	s.inc.NoteTopologyChange()
+	s.bumped()
+	return nil
+}
+
+// Annotate replaces the annotation of the component's from→to path (the
+// path must exist; interfaces never change, so the mutation is cheap for
+// the incremental engine).
+func (s *Session) Annotate(component, from, to string, ann Annotation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.inc.Graph().Lookup(component)
+	if c == nil {
+		return fmt.Errorf("blazes: session: unknown component %q", component)
+	}
+	if !c.SetPathAnn(from, to, ann) {
+		return fmt.Errorf("blazes: session: component %q has no path %s→%s", component, from, to)
+	}
+	s.inc.NoteAnnotationChange(component)
+	s.bumped()
+	return nil
+}
+
+// SealStream annotates the named stream with Seal on the given key; calling
+// it with no key attributes removes the seal.
+func (s *Session) SealStream(stream string, key ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.inc.Graph().Stream(stream)
+	if st == nil {
+		return fmt.Errorf("blazes: session: unknown stream %q (declared: %v)", stream, streamNames(s.inc.Graph()))
+	}
+	if len(key) == 0 {
+		st.Seal = AttrSet{}
+	} else {
+		st.Seal = fd.NewAttrSet(key...)
+	}
+	s.inc.NoteStreamChange(stream)
+	s.bumped()
+	return nil
+}
+
+// SetVariant re-selects a named annotation variant for a component of a
+// spec-backed session: the component's paths are rebuilt from the spec's
+// base annotations plus the variant. Like every mutator it is atomic —
+// if the new paths would orphan a stream wired to an interface only the
+// old variant declared, the change is rolled back and the validation
+// error returned. Graph-backed sessions return an error; use Annotate
+// instead.
+func (s *Session) SetVariant(component, variant string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spec == nil {
+		return fmt.Errorf("blazes: session: SetVariant needs a spec-backed session (use Annotate on graph-backed sessions)")
+	}
+	g := s.inc.Graph()
+	c := g.Lookup(component)
+	if c == nil {
+		return fmt.Errorf("blazes: session: unknown component %q", component)
+	}
+	paths, err := s.spec.cfg.VariantPaths(component, variant)
+	if err != nil {
+		return err
+	}
+	old := append([]dataflow.Path(nil), c.Paths...)
+	c.SetPaths(paths)
+	if err := g.Validate(); err != nil {
+		c.SetPaths(old)
+		return fmt.Errorf("blazes: session: SetVariant(%q, %q): %w", component, variant, err)
+	}
+	s.variants[component] = variant
+	s.inc.NoteTopologyChange()
+	s.bumped()
+	return nil
+}
+
+// Analyze incrementally re-derives the stream labels and returns the
+// Report; from the second analysis on, Report.Delta records what changed.
+// The output is identical to a fresh Analyzer.Analyze of the same graph
+// (modulo the Delta section, which a one-shot analysis cannot have). ctx
+// cancels a long derivation between components.
+func (s *Session) Analyze(ctx context.Context) (*Report, error) {
+	return s.analyze(ctx, false)
+}
+
+// Synthesize is Analyze plus one synthesized coordination strategy per
+// component that needs machinery, honoring PreferSequencing.
+func (s *Session) Synthesize(ctx context.Context) (*Report, error) {
+	return s.analyze(ctx, true)
+}
+
+func (s *Session) analyze(ctx context.Context, synth bool) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	an, stats, err := s.inc.Analyze(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{analysis: an}
+	if synth {
+		res.strategies = dataflow.Synthesize(an, dataflow.SynthesisOptions{PreferSequencing: s.cfg.preferSequencing})
+		res.synthesized = true
+	}
+	recomputed := make([]string, 0, len(stats.Recomputed))
+	s.lastComps = map[string]bool{}
+	for _, n := range stats.Recomputed {
+		recomputed = append(recomputed, n.Comp+"."+n.Iface)
+		s.lastComps[n.Comp] = true
+	}
+	s.last = SessionStats{Rebuilt: stats.Rebuilt, Recomputed: recomputed, Reused: stats.Reused}
+	rep := s.project(res, an)
+	if s.prev != nil {
+		rep.Delta = computeDelta(s.prev, rep, s.lastComps, s.last.Reused, s.seq, s.prevSynth && synth)
+	}
+	s.seq++
+	s.prev = rep
+	s.prevSynth = synth
+	return rep, nil
+}
+
+// project builds the wire report, reusing the previous report's
+// ComponentReports for components whose whole derivation was served from
+// the memo: a memo hit on every output interface guarantees steps,
+// reconciliations and config are unchanged, so the projection is too.
+// Reports are immutable wire data, so sharing the entries is safe. The
+// first analysis and structural rebuilds fall back to the full projection.
+func (s *Session) project(res *Result, an *dataflow.Analysis) *Report {
+	if s.prev == nil || s.last.Rebuilt {
+		s.sortedStreams = nil
+		s.compNames = nil
+		return res.Report()
+	}
+	if s.sortedStreams == nil {
+		streams := an.Collapsed.Streams()
+		s.sortedStreams = make([]*dataflow.Stream, len(streams))
+		copy(s.sortedStreams, streams)
+		sort.Slice(s.sortedStreams, func(i, j int) bool { return s.sortedStreams[i].Name < s.sortedStreams[j].Name })
+		s.compNames = componentNamesOf(an)
+	}
+	recomputed := s.lastComps
+	prevComp := make(map[string]*ComponentReport, len(s.prev.Components))
+	for i := range s.prev.Components {
+		prevComp[s.prev.Components[i].Name] = &s.prev.Components[i]
+	}
+
+	rep := &Report{
+		Version:       ReportVersion,
+		Dataflow:      an.Graph.Name,
+		Verdict:       labelReport(an.Verdict),
+		Deterministic: an.Deterministic(),
+	}
+	// With an unchanged structure, prev.Streams aligns index-for-index
+	// with the sorted stream list: copy entries whose label and seal are
+	// unchanged, re-project the rest.
+	rep.Streams = make([]StreamReport, 0, len(s.sortedStreams))
+	for i, st := range s.sortedStreams {
+		l := an.StreamLabels[st.Name]
+		if i < len(s.prev.Streams) && s.prev.Streams[i].Name == st.Name {
+			pr := &s.prev.Streams[i]
+			if wireLabelEqual(pr.Label, l) && stringsEqualAttrs(pr.Seal, st.Seal) && pr.Replicated == st.Rep {
+				rep.Streams = append(rep.Streams, *pr)
+				continue
+			}
+		}
+		rep.Streams = append(rep.Streams, StreamReport{
+			Name:       st.Name,
+			From:       endpoint(st.FromComp, st.FromIface),
+			To:         endpoint(st.ToComp, st.ToIface),
+			Label:      labelReport(l),
+			Seal:       attrList(st.Seal),
+			Replicated: st.Rep,
+		})
+	}
+	for _, n := range s.compNames {
+		if pc, ok := prevComp[n]; ok && !recomputed[n] {
+			rep.Components = append(rep.Components, *pc)
+			continue
+		}
+		rep.Components = append(rep.Components, componentReportOf(an, n))
+	}
+	for _, st := range res.strategies {
+		rep.Strategies = append(rep.Strategies, strategyReport(st))
+	}
+	return rep
+}
+
+// wireLabelEqual compares a wire-form label against a core label without
+// projecting the latter.
+func wireLabelEqual(w LabelReport, l Label) bool {
+	if w.Kind != l.Kind.String() || w.Severity != l.Severity() {
+		return false
+	}
+	return stringsEqualAttrs(w.Key, l.Key)
+}
+
+// stringsEqualAttrs compares a wire attribute list against an AttrSet.
+func stringsEqualAttrs(w []string, s AttrSet) bool {
+	attrs := s.Attrs()
+	if len(w) != len(attrs) {
+		return false
+	}
+	for i := range w {
+		if w[i] != attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeDelta diffs two consecutive session reports; recomputedComps is
+// the set of collapsed components the engine actually re-derived.
+func computeDelta(prev, cur *Report, recomputedComps map[string]bool, reused, since int, strategies bool) *Delta {
+	d := &Delta{Since: since, Reused: reused}
+
+	// Streams are sorted by name in both reports; merge-walk them.
+	i, j := 0, 0
+	for i < len(prev.Streams) || j < len(cur.Streams) {
+		switch {
+		case j >= len(cur.Streams) || (i < len(prev.Streams) && prev.Streams[i].Name < cur.Streams[j].Name):
+			d.Streams = append(d.Streams, StreamDelta{Name: prev.Streams[i].Name, Before: prev.Streams[i].Label})
+			i++
+		case i >= len(prev.Streams) || cur.Streams[j].Name < prev.Streams[i].Name:
+			d.Streams = append(d.Streams, StreamDelta{Name: cur.Streams[j].Name, After: cur.Streams[j].Label})
+			j++
+		default:
+			if !labelReportEqual(prev.Streams[i].Label, cur.Streams[j].Label) {
+				d.Streams = append(d.Streams, StreamDelta{Name: cur.Streams[j].Name, Before: prev.Streams[i].Label, After: cur.Streams[j].Label})
+			}
+			i++
+			j++
+		}
+	}
+
+	if !labelReportEqual(prev.Verdict, cur.Verdict) {
+		d.Verdict = &VerdictDelta{Before: prev.Verdict, After: cur.Verdict}
+	}
+
+	if strategies {
+		d.Strategies = strategyDeltas(prev.Strategies, cur.Strategies)
+	}
+
+	for name := range recomputedComps {
+		d.Recomputed = append(d.Recomputed, name)
+	}
+	sort.Strings(d.Recomputed)
+	return d
+}
+
+func labelReportEqual(a, b LabelReport) bool {
+	if a.Kind != b.Kind || a.Severity != b.Severity || len(a.Key) != len(b.Key) {
+		return false
+	}
+	for i := range a.Key {
+		if a.Key[i] != b.Key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func strategyReportEqual(a, b StrategyReport) bool {
+	if a.Component != b.Component || a.Mechanism != b.Mechanism || a.Reason != b.Reason {
+		return false
+	}
+	if len(a.Inputs) != len(b.Inputs) || len(a.SealKeys) != len(b.SealKeys) {
+		return false
+	}
+	for i := range a.Inputs {
+		if a.Inputs[i] != b.Inputs[i] {
+			return false
+		}
+	}
+	for k, av := range a.SealKeys {
+		bv, ok := b.SealKeys[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// strategyDeltas diffs two strategy lists by component name.
+func strategyDeltas(prev, cur []StrategyReport) []StrategyDelta {
+	byComp := map[string]*StrategyDelta{}
+	var order []string
+	for i := range prev {
+		p := prev[i]
+		byComp[p.Component] = &StrategyDelta{Component: p.Component, Before: &p}
+		order = append(order, p.Component)
+	}
+	for i := range cur {
+		c := cur[i]
+		if d, ok := byComp[c.Component]; ok {
+			d.After = &c
+		} else {
+			byComp[c.Component] = &StrategyDelta{Component: c.Component, After: &c}
+			order = append(order, c.Component)
+		}
+	}
+	sort.Strings(order)
+	var out []StrategyDelta
+	seen := map[string]bool{}
+	for _, name := range order {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		d := byComp[name]
+		if d.Before != nil && d.After != nil && strategyReportEqual(*d.Before, *d.After) {
+			continue
+		}
+		out = append(out, *d)
+	}
+	return out
+}

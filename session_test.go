@@ -1,0 +1,576 @@
+package blazes
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadSessionSpec(t *testing.T, name string) *Spec {
+	t.Helper()
+	s, err := LoadSpec(filepath.Join("internal", "spec", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// cyclicTopology builds a two-component interface-level cycle (A↔B): the
+// collapse folds both into the "scc+A+B" supernode, whose name and
+// member-qualified interfaces ("B.out") contain dots — the shape that
+// exercises the supernode paths of the incremental engine and the
+// session's report reuse.
+func cyclicTopology(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraphBuilder("gossip-pair").
+		ComponentPath("A", "in", "out", CW).
+		ComponentPath("B", "in", "out", OWGate("k")).
+		Source("src", "A", "in").
+		Stream("ab", "A", "out", "B", "in").
+		Stream("ba", "B", "out", "A", "in").
+		Sink("snk", "B", "out").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// mutator applies one random valid mutation to the session and returns a
+// description of what it did.
+type mutator func(t *testing.T, rng *rand.Rand, s *Session, specBacked bool, serial *int) string
+
+func randAttrs(rng *rand.Rand) []string {
+	pool := []string{"batch", "word", "campaign", "id", "window"}
+	n := 1 + rng.Intn(2)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		out = append(out, pool[rng.Intn(len(pool))])
+	}
+	return out
+}
+
+func randAnn(rng *rand.Rand) Annotation {
+	switch rng.Intn(6) {
+	case 0:
+		return CR
+	case 1:
+		return CW
+	case 2:
+		return ORGate(randAttrs(rng)...)
+	case 3:
+		return OWGate(randAttrs(rng)...)
+	case 4:
+		return ORStar()
+	default:
+		return OWStar()
+	}
+}
+
+func sessionMutators() []mutator {
+	return []mutator{
+		// Annotate a random existing path.
+		func(t *testing.T, rng *rand.Rand, s *Session, _ bool, _ *int) string {
+			g := s.Graph()
+			comps := g.Components()
+			c := comps[rng.Intn(len(comps))]
+			p := c.Paths[rng.Intn(len(c.Paths))]
+			ann := randAnn(rng)
+			if err := s.Annotate(c.Name, p.From, p.To, ann); err != nil {
+				t.Fatalf("Annotate(%s, %s, %s): %v", c.Name, p.From, p.To, err)
+			}
+			return fmt.Sprintf("annotate %s.%s→%s %s", c.Name, p.From, p.To, ann)
+		},
+		// Seal or unseal a random stream.
+		func(t *testing.T, rng *rand.Rand, s *Session, _ bool, _ *int) string {
+			g := s.Graph()
+			streams := g.Streams()
+			st := streams[rng.Intn(len(streams))]
+			if rng.Intn(3) == 0 {
+				if err := s.SealStream(st.Name); err != nil {
+					t.Fatalf("unseal %s: %v", st.Name, err)
+				}
+				return "unseal " + st.Name
+			}
+			key := randAttrs(rng)
+			if err := s.SealStream(st.Name, key...); err != nil {
+				t.Fatalf("seal %s: %v", st.Name, err)
+			}
+			return fmt.Sprintf("seal %s on %v", st.Name, key)
+		},
+		// Tap a random output interface into a new external sink.
+		func(t *testing.T, rng *rand.Rand, s *Session, _ bool, serial *int) string {
+			g := s.Graph()
+			comps := g.Components()
+			c := comps[rng.Intn(len(comps))]
+			outs := c.Outputs()
+			iface := outs[rng.Intn(len(outs))]
+			*serial++
+			name := fmt.Sprintf("tap%d", *serial)
+			if err := s.Connect(name, c.Name+"."+iface, ""); err != nil {
+				t.Fatalf("Connect(%s): %v", name, err)
+			}
+			return "tap " + c.Name + "." + iface
+		},
+		// Add an auditing component fed by a random output interface.
+		func(t *testing.T, rng *rand.Rand, s *Session, _ bool, serial *int) string {
+			g := s.Graph()
+			comps := g.Components()
+			c := comps[rng.Intn(len(comps))]
+			outs := c.Outputs()
+			iface := outs[rng.Intn(len(outs))]
+			*serial++
+			name := fmt.Sprintf("Aux%d", *serial)
+			if err := s.AddComponent(name, Path("in", "out", randAnn(rng))); err != nil {
+				t.Fatalf("AddComponent(%s): %v", name, err)
+			}
+			if err := s.Connect(fmt.Sprintf("aux-in%d", *serial), c.Name+"."+iface, name+".in"); err != nil {
+				t.Fatalf("Connect aux-in: %v", err)
+			}
+			if err := s.Connect(fmt.Sprintf("aux-out%d", *serial), name+".out", ""); err != nil {
+				t.Fatalf("Connect aux-out: %v", err)
+			}
+			return "add component " + name
+		},
+		// Remove a previously added tap (or skip when none exists).
+		func(t *testing.T, rng *rand.Rand, s *Session, _ bool, _ *int) string {
+			g := s.Graph()
+			var taps []string
+			for _, st := range g.Streams() {
+				if len(st.Name) > 3 && st.Name[:3] == "tap" {
+					taps = append(taps, st.Name)
+				}
+			}
+			if len(taps) == 0 {
+				return "noop"
+			}
+			name := taps[rng.Intn(len(taps))]
+			if err := s.RemoveEdge(name); err != nil {
+				t.Fatalf("RemoveEdge(%s): %v", name, err)
+			}
+			return "remove " + name
+		},
+		// Re-select a spec variant (spec-backed sessions only).
+		func(t *testing.T, rng *rand.Rand, s *Session, specBacked bool, _ *int) string {
+			if !specBacked {
+				return "noop"
+			}
+			variants := []string{"THRESH", "POOR", "WINDOW", "CAMPAIGN"}
+			v := variants[rng.Intn(len(variants))]
+			if err := s.SetVariant("Report", v); err != nil {
+				t.Fatalf("SetVariant(%s): %v", v, err)
+			}
+			return "variant Report=" + v
+		},
+	}
+}
+
+// TestSessionDifferential is the tentpole acceptance check: across ≥150
+// randomized mutation sequences, every Session.Analyze (and, on a subset,
+// Synthesize) emits bytes identical to a fresh one-shot analysis of the
+// equivalent graph, modulo the Delta section a one-shot report cannot have.
+func TestSessionDifferential(t *testing.T) {
+	const sequences = 160
+	ctx := context.Background()
+	muts := sessionMutators()
+
+	for seq := 0; seq < sequences; seq++ {
+		rng := rand.New(rand.NewSource(int64(seq) + 1))
+		var (
+			s          *Session
+			specBacked bool
+			err        error
+		)
+		switch seq % 5 {
+		case 0:
+			s, err = OpenSession(WordcountTopology(rng.Intn(2) == 0))
+		case 1:
+			s, err = OpenSession(AdNetwork(CAMPAIGN, "campaign"))
+		case 2:
+			s, err = loadSessionSpec(t, "wordcount.blazes").OpenSession("wordcount")
+		case 3:
+			s, err = OpenSession(cyclicTopology(t)) // supernode path
+		default:
+			specBacked = true
+			s, err = loadSessionSpec(t, "adreport.blazes").OpenSession("adreport",
+				WithVariant("Report", "CAMPAIGN"), WithSealRepair("clicks", "campaign"))
+		}
+		if err != nil {
+			t.Fatalf("seq %d: open: %v", seq, err)
+		}
+
+		serial := 0
+		steps := 1 + rng.Intn(6)
+		trace := []string{"open"}
+		for step := 0; step <= steps; step++ {
+			if step > 0 {
+				trace = append(trace, muts[rng.Intn(len(muts))](t, rng, s, specBacked, &serial))
+			}
+			synth := rng.Intn(3) == 0
+			var got *Report
+			if synth {
+				got, err = s.Synthesize(ctx)
+			} else {
+				got, err = s.Analyze(ctx)
+			}
+			if err != nil {
+				t.Fatalf("seq %d step %d (%v): session analyze: %v", seq, step, trace, err)
+			}
+
+			// Fresh one-shot analysis of the equivalent graph.
+			analyzer := NewAnalyzer()
+			var fresh *Result
+			if synth {
+				fresh, err = analyzer.Synthesize(s.Graph())
+			} else {
+				fresh, err = analyzer.Analyze(s.Graph())
+			}
+			if err != nil {
+				t.Fatalf("seq %d step %d (%v): fresh analyze: %v", seq, step, trace, err)
+			}
+
+			gotBytes := marshalWithoutDelta(t, got)
+			wantBytes := marshalWithoutDelta(t, fresh.Report())
+			if !bytes.Equal(gotBytes, wantBytes) {
+				t.Fatalf("seq %d step %d (%v): session report differs from fresh analysis\n--- session ---\n%s\n--- fresh ---\n%s",
+					seq, step, trace, gotBytes, wantBytes)
+			}
+		}
+	}
+}
+
+func marshalWithoutDelta(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	clone := *rep
+	clone.Delta = nil
+	out, err := clone.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSessionDelta: the second analysis carries a delta describing the flip.
+func TestSessionDelta(t *testing.T) {
+	ctx := context.Background()
+	s, err := OpenSession(WordcountTopology(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Synthesize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Delta != nil {
+		t.Fatal("first analysis must not carry a delta")
+	}
+
+	if err := s.SealStream("tweets", "batch"); err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Synthesize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := second.Delta
+	if d == nil {
+		t.Fatal("second analysis must carry a delta")
+	}
+	if d.Since != 1 {
+		t.Errorf("Since = %d, want 1", d.Since)
+	}
+	if len(d.Streams) == 0 {
+		t.Error("sealing tweets changed no stream labels?")
+	}
+	found := false
+	for _, sd := range d.Streams {
+		if sd.Name == "tweets" && sd.After.Kind == "Seal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("delta streams %v missing tweets → Seal", d.Streams)
+	}
+	if d.Verdict == nil {
+		t.Error("sealing the wordcount changes the verdict (Diverge → Async)")
+	}
+	if len(d.Strategies) == 0 {
+		t.Error("sealing changes the synthesized strategies")
+	}
+	if len(d.Recomputed) == 0 {
+		t.Error("delta must name the recomputed components")
+	}
+
+	// A no-op re-analysis yields an empty (but present) delta.
+	third, err := s.Synthesize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Delta == nil {
+		t.Fatal("third analysis must carry a delta")
+	}
+	if len(third.Delta.Streams) != 0 || third.Delta.Verdict != nil || len(third.Delta.Recomputed) != 0 {
+		t.Errorf("no-op delta not empty: %+v", third.Delta)
+	}
+}
+
+// TestSessionMemoization: an annotation flip recomputes strictly fewer
+// output interfaces than the whole graph.
+func TestSessionMemoization(t *testing.T) {
+	ctx := context.Background()
+	s, err := OpenSession(AdNetwork(CAMPAIGN, "campaign"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.LastStats().Rebuilt {
+		t.Fatal("first analysis must build the structure")
+	}
+	if err := s.Annotate("Report", "request", "response", ORGate("id")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.LastStats()
+	if st.Rebuilt {
+		t.Error("annotation flip must not rebuild the structure")
+	}
+	if len(st.Recomputed) == 0 {
+		t.Error("annotation flip must recompute something")
+	}
+	if st.Reused == 0 {
+		t.Error("annotation flip must reuse upstream derivations")
+	}
+}
+
+// TestSessionMutatorErrors: every mutator validates eagerly and leaves the
+// session analyzable.
+func TestSessionMutatorErrors(t *testing.T) {
+	ctx := context.Background()
+	s, err := OpenSession(WordcountTopology(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"annotate-unknown-comp", func() error { return s.Annotate("Nope", "a", "b", CR) }},
+		{"annotate-unknown-path", func() error { return s.Annotate("Count", "nope", "nope", CR) }},
+		{"seal-unknown-stream", func() error { return s.SealStream("nope", "k") }},
+		{"remove-unknown-stream", func() error { return s.RemoveEdge("nope") }},
+		{"connect-dup", func() error { return s.Connect("tweets", "Count.counts", "") }},
+		{"connect-unknown-comp", func() error { return s.Connect("x", "Nope.out", "") }},
+		{"connect-unknown-iface", func() error { return s.Connect("x", "Count.nope", "") }},
+		{"connect-bad-endpoint", func() error { return s.Connect("x", "malformed", "") }},
+		{"connect-nothing", func() error { return s.Connect("x", "", "") }},
+		{"add-dup-component", func() error { return s.AddComponent("Count", Path("a", "b", CR)) }},
+		{"add-no-paths", func() error { return s.AddComponent("New") }},
+		{"variant-on-graph-session", func() error { return s.SetVariant("Count", "X") }},
+	}
+	before := s.Version()
+	for _, tc := range cases {
+		if err := tc.call(); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	if s.Version() != before {
+		t.Error("failed mutators must not bump the session version")
+	}
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatalf("session corrupted by failed mutators: %v", err)
+	}
+}
+
+// TestSessionSupernodeDelta: seal flips on a cyclic graph re-derive the
+// collapsed supernode, the report reflects the new derivation (not a
+// stale reused ComponentReport), and Delta.Recomputed names the actual
+// supernode — "scc+A+B", not a mis-split of its dotted interface names.
+func TestSessionSupernodeDelta(t *testing.T) {
+	ctx := context.Background()
+	s, err := OpenSession(cyclicTopology(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SealStream("src", "k"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delta == nil || len(rep.Delta.Recomputed) == 0 {
+		t.Fatalf("sealed re-analysis carries no recomputed components: %+v", rep.Delta)
+	}
+	for _, name := range rep.Delta.Recomputed {
+		found := false
+		for _, cr := range rep.Components {
+			if cr.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Delta.Recomputed names %q, which is not in Report.Components", name)
+		}
+	}
+	fresh, err := NewAnalyzer().Analyze(s.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := marshalWithoutDelta(t, rep)
+	want := marshalWithoutDelta(t, fresh.Report())
+	if !bytes.Equal(got, want) {
+		t.Errorf("supernode session report differs from fresh analysis\n--- session ---\n%s\n--- fresh ---\n%s", got, want)
+	}
+}
+
+// TestSessionSetVariantRollsBackOnOrphanedStream: re-selecting a variant
+// that would orphan a stream wired to a variant-only interface fails and
+// leaves the session exactly as it was (the mutator-atomicity contract).
+func TestSessionSetVariantRollsBackOnOrphanedStream(t *testing.T) {
+	ctx := context.Background()
+	spec, err := ParseSpec(`C:
+  annotation: {from: in, to: out, label: CR}
+  EXTRA: {from: in, to: dbg, label: CW}
+topology:
+  sources:
+    - {name: src, to: C.in}
+  sinks:
+    - {name: snk, from: C.out}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spec.OpenSession("rollback", WithVariant("C", "EXTRA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire a sink to the interface only the EXTRA variant declares.
+	if err := s.Connect("tap", "C.dbg", ""); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Version()
+	err = s.SetVariant("C", "")
+	if err == nil {
+		t.Fatal("SetVariant succeeded despite orphaning stream tap")
+	}
+	if !strings.Contains(err.Error(), `"tap"`) {
+		t.Errorf("error does not name the orphaned stream: %v", err)
+	}
+	if s.Version() != before {
+		t.Error("failed SetVariant bumped the session version")
+	}
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatalf("session corrupted by failed SetVariant: %v", err)
+	}
+	// Dropping the tap first makes the same re-selection legal.
+	if err := s.RemoveEdge("tap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVariant("C", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionCancellation: a cancelled context aborts Analyze.
+func TestSessionCancellation(t *testing.T) {
+	s, err := OpenSession(WordcountTopology(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Analyze(ctx); err == nil {
+		t.Fatal("cancelled context must abort Analyze")
+	}
+}
+
+// TestSessionCancelledRebuildDoesNotStaleCaches: a topology mutation
+// followed by a *cancelled* analysis must not poison the session's
+// projection caches — the next successful analysis is a full pass whose
+// report carries the new stream set.
+func TestSessionCancelledRebuildDoesNotStaleCaches(t *testing.T) {
+	ctx := context.Background()
+	s, err := OpenSession(WordcountTopology(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two completed analyses so the projection caches are warm.
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SealStream("tweets", "batch"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Topology mutation, then an analysis that dies mid-rebuild.
+	if err := s.Connect("tap", "Count.counts", ""); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Analyze(cancelled); err == nil {
+		t.Fatal("cancelled context must abort Analyze")
+	}
+
+	rep, err := s.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.LastStats().Rebuilt {
+		t.Error("pass after a cancelled rebuild must report Rebuilt")
+	}
+	if _, ok := rep.StreamLabel("tap"); !ok {
+		t.Fatalf("report omits the stream added before the cancelled pass: %v", rep.Streams)
+	}
+	fresh, err := NewAnalyzer().Analyze(s.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := marshalWithoutDelta(t, rep)
+	want := marshalWithoutDelta(t, fresh.Report())
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-cancellation report differs from fresh analysis\n--- session ---\n%s\n--- fresh ---\n%s", got, want)
+	}
+}
+
+// TestDecodeReportV1Fixtures: the v2 decoder still accepts the recorded v1
+// golden documents.
+func TestDecodeReportV1Fixtures(t *testing.T) {
+	for _, name := range []string{"report_wordcount_v1.json", "report_adreport_v1.json"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := DecodeReport(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Version != ReportVersionV1 {
+			t.Errorf("%s: version = %q", name, rep.Version)
+		}
+		if rep.Delta != nil {
+			t.Errorf("%s: v1 fixture decoded with a delta", name)
+		}
+		if len(rep.Streams) == 0 || rep.Dataflow == "" {
+			t.Errorf("%s: decoded report incomplete: %+v", name, rep)
+		}
+	}
+}

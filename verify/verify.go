@@ -19,6 +19,7 @@
 package verify
 
 import (
+	"context"
 	"encoding/json"
 
 	"blazes"
@@ -72,7 +73,15 @@ type Options struct {
 // Check verifies the Blazes guarantee for one workload; see the package
 // documentation. The returned Report's Holds field is the verdict.
 func Check(w Workload, opts Options) (*Report, error) {
-	return chaos.Check(w, chaos.Config{
+	return CheckContext(context.Background(), w, opts)
+}
+
+// CheckContext is Check with cancellation: once ctx is done, sweep workers
+// stop picking up new seeded schedules, in-flight runs finish, and the
+// check returns the context's error — a multi-minute sweep stops within one
+// seed's run time instead of running to completion.
+func CheckContext(ctx context.Context, w Workload, opts Options) (*Report, error) {
+	return chaos.Check(ctx, w, chaos.Config{
 		Seeds:            opts.Seeds,
 		Plans:            opts.Plans,
 		PreferSequencing: opts.PreferSequencing,
