@@ -6,7 +6,10 @@
 // delivery schedules with fault injection and checks that coordinated runs
 // are outcome-invariant while stripped runs diverge. The serve subcommand
 // runs the analysis as a long-running HTTP+JSON service hosting mutable,
-// incrementally re-analyzed sessions (see blazes/service).
+// incrementally re-analyzed sessions (see blazes/service). The lint
+// subcommand runs the severity-ranked BLZnnn graph diagnostics (seal keys
+// missing from schemas, contradictory annotations, unreachable components,
+// unsealed nondeterministic cycles — see DESIGN.md) over one or more specs.
 //
 // Usage:
 //
@@ -17,6 +20,7 @@
 //	blazes verify -workload wordcount-storm -seeds 64
 //	blazes verify -json
 //	blazes serve -addr 127.0.0.1:8351
+//	blazes lint internal/spec/testdata/wordcount.blazes internal/spec/testdata/adreport.blazes
 //
 // Flags (analysis mode):
 //
@@ -85,6 +89,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return runVerify(ctx, args[1:], stdout, stderr)
 		case "serve":
 			return runServe(ctx, args[1:], stdout, stderr)
+		case "lint":
+			return runLint(args[1:], stdout, stderr)
 		}
 	}
 	return runAnalyze(args, stdout, stderr)

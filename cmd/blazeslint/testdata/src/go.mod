@@ -1,0 +1,3 @@
+module blazes
+
+go 1.24

@@ -178,6 +178,7 @@ func (s *store) contains(r Row) bool {
 // no-clone read path used by compiled scans.
 func (s *store) appendRows(dst []Row) []Row {
 	for _, b := range s.buckets {
+		//lint:allow maporder documented unordered internal path; public reads canonicalize via snapshot
 		dst = append(dst, b...)
 	}
 	return dst
@@ -191,6 +192,7 @@ func (s *store) snapshot() []Row {
 		row Row
 	}
 	ks := make([]keyed, 0, s.n)
+	//lint:allow maporder key() is a pure row encoder; ks is decorate-sorted below
 	for _, b := range s.buckets {
 		for _, r := range b {
 			ks = append(ks, keyed{key: r.key(), row: r})

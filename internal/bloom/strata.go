@@ -92,6 +92,7 @@ func stratify(m *Module) (map[string]int, int, error) {
 		}
 		if !changed {
 			maxStratum := 0
+			//lint:allow maporder max over the values is order-insensitive
 			for _, s := range strata {
 				if s > maxStratum {
 					maxStratum = s

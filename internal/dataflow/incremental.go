@@ -262,6 +262,7 @@ func (inc *Incremental) applyPendingSyncs() {
 	if inc.collapsed == inc.g {
 		return
 	}
+	//lint:allow maporder per-name sync of disjoint components; the lookups are read-only
 	for name := range inc.pendingComps {
 		orig := inc.g.Lookup(name)
 		cc := inc.collapsed.Lookup(name)
@@ -276,6 +277,7 @@ func (inc *Incremental) applyPendingSyncs() {
 			cc.Paths[i].Ann = orig.Paths[i].Ann
 		}
 	}
+	//lint:allow maporder per-name seal/rep sync of disjoint streams; the lookups are read-only
 	for name := range inc.pendingStreams {
 		if orig, cs := inc.g.Stream(name), inc.collapsed.Stream(name); orig != nil && cs != nil {
 			cs.Seal = orig.Seal
@@ -338,6 +340,7 @@ func (inc *Incremental) Analyze(ctx context.Context) (*Analysis, Stats, error) {
 		}
 	} else {
 		// Only noted seal flips can move a source label.
+		//lint:allow maporder each iteration writes its own StreamLabels slot
 		for name := range inc.pendingStreams {
 			if s := cg.Stream(name); s != nil && s.IsSource() {
 				a.StreamLabels[name] = sourceLabel(s)

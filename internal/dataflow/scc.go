@@ -68,6 +68,7 @@ func buildIfaceGraph(g *Graph) *ifaceGraph {
 		addEdge(ifaceNode{s.FromComp, s.FromIface, true}, ifaceNode{s.ToComp, s.ToIface, false})
 	}
 	sort.Slice(ig.nodes, func(i, j int) bool { return less(ig.nodes[i], ig.nodes[j]) })
+	//lint:allow maporder sorts each adjacency list in place; the lists are disjoint per key
 	for _, vs := range ig.adj {
 		sort.Slice(vs, func(i, j int) bool { return less(vs[i], vs[j]) })
 	}
@@ -242,6 +243,7 @@ func collapseSCCs(g *Graph) *Graph {
 			groupMembers[rep] = append(groupMembers[rep], c.Name)
 		}
 	}
+	//lint:allow maporder sorts each member list in place; the lists are disjoint per group
 	for rep := range groupMembers {
 		sort.Strings(groupMembers[rep])
 	}
@@ -281,6 +283,7 @@ func collapseSCCs(g *Graph) *Graph {
 	}
 
 	// Build supernodes for multi-component groups.
+	//lint:allow maporder insertion order is invisible: Components() returns name order
 	for rep, members := range groupMembers {
 		if len(members) < 2 {
 			continue
@@ -413,6 +416,7 @@ func groupBoundary(g *Graph, inGroup map[string]bool) (ins, outs []ifaceNode) {
 		}
 	}
 	// Unconnected member inputs are external too.
+	//lint:allow maporder read-only graph queries feeding per-key map inserts
 	for comp := range inGroup {
 		c := g.Lookup(comp)
 		for _, iface := range c.Inputs() {

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflow enforces the PR 5 cancellation convention on the packages that
+// host sweep/analyze entry points:
+//
+//  1. context.Context, when a function takes one, is the first parameter.
+//  2. Exported sweep entry points — Check, Verify, or anything containing
+//     "Sweep" — accept a ctx, or keep a Context-suffixed sibling
+//     (CheckContext) that does, so multi-minute work is always cancelable.
+//  3. A function that was handed a ctx threads it: minting a fresh
+//     context.Background() or context.TODO() inside severs the caller's
+//     cancellation chain.
+func runCtxFlow(p *Pass) {
+	// Collect declared function names (per receiver type) so the sibling
+	// escape of rule 2 can be checked.
+	declared := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			declared[recvKey(fd)+fd.Name.Name] = true
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			p.checkCtxDecl(fd, declared)
+		}
+		// Rule 1 and 3 also bind function literals.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				p.checkCtxPosition(fl.Type)
+				p.checkCtxThreading(fl.Type, fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+func recvKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "."
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := ix.X.(*ast.Ident); ok {
+			return id.Name + "."
+		}
+	}
+	return "?."
+}
+
+func (p *Pass) checkCtxDecl(fd *ast.FuncDecl, declared map[string]bool) {
+	p.checkCtxPosition(fd.Type)
+	p.checkCtxThreading(fd.Type, fd.Body)
+
+	name := fd.Name.Name
+	if !fd.Name.IsExported() || !isSweepEntryName(name) {
+		return
+	}
+	if hasCtxParam(p, fd.Type) {
+		return
+	}
+	// Sibling escape: Check may stay ctx-free while CheckContext carries
+	// the cancelable path (the stdlib pairing).
+	if declared[recvKey(fd)+name+"Context"] {
+		return
+	}
+	p.Reportf(fd.Pos(), "exported sweep entry point %s must accept context.Context (first parameter) or have a %sContext sibling that does", name, name)
+}
+
+// isSweepEntryName matches the entry points the convention binds: the
+// multi-minute schedule sweeps, not the micro-scale one-shot analyses.
+func isSweepEntryName(name string) bool {
+	return name == "Check" || name == "Verify" || strings.Contains(name, "Sweep")
+}
+
+func (p *Pass) checkCtxPosition(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if p.isContextType(field.Type) && pos != 0 {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// checkCtxThreading flags context.Background()/TODO() inside a function
+// that already has a ctx parameter.
+func (p *Pass) checkCtxThreading(ft *ast.FuncType, body *ast.BlockStmt) {
+	if body == nil || !hasCtxParam(p, ft) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested literal is checked on its own params
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			p.Reportf(call.Pos(), "context.%s inside a function that takes a ctx severs cancellation; thread the parameter instead", fn.Name())
+		}
+		return true
+	})
+}
+
+func hasCtxParam(p *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if p.isContextType(field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) isContextType(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

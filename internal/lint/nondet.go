@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondet forbids the ambient-nondeterminism sources that would break the
+// byte-identical replay guarantee in the deterministic packages:
+//
+//   - wall-clock reads (time.Now, Since, Until, timers, sleeps): simulated
+//     time is the only clock those packages may observe;
+//   - global math/rand draws (rand.Intn, Shuffle, ...): every random draw
+//     must come from a seeded *rand.Rand owned by the simulation, so
+//     constructors (rand.New, rand.NewSource) stay legal;
+//   - environment reads (os.Getenv and friends): behavior conditioned on
+//     ambient configuration diverges across hosts;
+//   - select over two or more channels: the runtime picks a ready case
+//     pseudo-randomly, so multi-channel select is scheduler-dependent
+//     (single-channel select with a default is a deterministic poll).
+func runNonDet(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkNonDetCall(n)
+			case *ast.SelectStmt:
+				p.checkSelect(n)
+			}
+			return true
+		})
+	}
+}
+
+// forbiddenFuncs maps package path → package-level functions that read
+// ambient state. Methods (e.g. (*rand.Rand).Intn on a seeded source) are
+// never matched.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"After":     "schedules on the wall clock",
+		"Tick":      "schedules on the wall clock",
+		"NewTimer":  "schedules on the wall clock",
+		"NewTicker": "schedules on the wall clock",
+		"AfterFunc": "schedules on the wall clock",
+		"Sleep":     "blocks on the wall clock",
+	},
+	"math/rand": {
+		"Int": "draws from the global source", "Intn": "draws from the global source",
+		"Int31": "draws from the global source", "Int31n": "draws from the global source",
+		"Int63": "draws from the global source", "Int63n": "draws from the global source",
+		"Uint32": "draws from the global source", "Uint64": "draws from the global source",
+		"Float32": "draws from the global source", "Float64": "draws from the global source",
+		"NormFloat64": "draws from the global source", "ExpFloat64": "draws from the global source",
+		"Perm": "draws from the global source", "Shuffle": "draws from the global source",
+		"Seed": "reseeds the global source", "Read": "draws from the global source",
+	},
+	"math/rand/v2": {
+		"Int": "draws from the global source", "IntN": "draws from the global source",
+		"Int32": "draws from the global source", "Int32N": "draws from the global source",
+		"Int64": "draws from the global source", "Int64N": "draws from the global source",
+		"Uint32": "draws from the global source", "Uint64": "draws from the global source",
+		"Uint32N": "draws from the global source", "Uint64N": "draws from the global source",
+		"N": "draws from the global source", "Float32": "draws from the global source",
+		"Float64": "draws from the global source", "NormFloat64": "draws from the global source",
+		"ExpFloat64": "draws from the global source", "Perm": "draws from the global source",
+		"Shuffle": "draws from the global source", "UintN": "draws from the global source",
+		"Uint": "draws from the global source",
+	},
+	"os": {
+		"Getenv":    "conditions behavior on the environment",
+		"LookupEnv": "conditions behavior on the environment",
+		"Environ":   "conditions behavior on the environment",
+		"ExpandEnv": "conditions behavior on the environment",
+	},
+}
+
+func (p *Pass) checkNonDetCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.Info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	if why, bad := forbiddenFuncs[fn.Pkg().Path()][fn.Name()]; bad {
+		p.Reportf(call.Pos(), "%s.%s %s; deterministic packages must use simulated time / a seeded source", fn.Pkg().Name(), fn.Name(), why)
+	}
+}
+
+func (p *Pass) checkSelect(sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		p.Reportf(sel.Pos(), "select over %d channels is scheduler-dependent; deterministic packages must poll one channel at a time", comms)
+	}
+}

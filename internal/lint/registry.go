@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeterministicPackages lists the packages bound by the determinism
+// contract: their outputs (schedules, emissions, report sections, returned
+// slices) must be byte-identical across runs, parallelism levels and
+// replays, so iteration order and ambient state must never leak into them.
+// maporder and nondet default to this scope.
+var DeterministicPackages = []string{
+	"blazes/internal/sim",
+	"blazes/internal/storm",
+	"blazes/internal/bloom",
+	"blazes/internal/chaos",
+	"blazes/internal/dataflow",
+	"blazes/internal/coord",
+}
+
+// CtxFlowPackages lists the packages holding the sweep/analyze entry points
+// the PR 5 context convention covers: multi-minute work must be cancelable,
+// so ctx is accepted first and threaded, never re-minted.
+var CtxFlowPackages = []string{
+	"blazes",
+	"blazes/verify",
+	"blazes/service",
+	"blazes/internal/chaos",
+	"blazes/internal/experiments",
+	"blazes/internal/sim",
+	"blazes/internal/dataflow",
+}
+
+// Adding an analyzer is a two-file change (the BLIS two-place registration
+// recipe):
+//
+//  1. Implement the pass in its own file (run function + default scope) and
+//     add its name to validAnalyzers below.
+//  2. Add the matching case to New in the same commit — New panics at init
+//     time if the two places disagree, so a half-registered analyzer cannot
+//     ship.
+//
+// CLI error messages derive from Names(), so no command-line code changes.
+var validAnalyzers = map[string]string{
+	"maporder": "range over a map must not let iteration order escape without a canonical sort",
+	"nondet":   "no wall-clock reads, global math/rand draws, env-conditioned behavior or multi-channel select in deterministic packages",
+	"ctxflow":  "sweep/analyze entry points accept context.Context first and thread it",
+}
+
+// IsValidAnalyzer reports whether name is a registered check.
+func IsValidAnalyzer(name string) bool {
+	_, ok := validAnalyzers[name]
+	return ok
+}
+
+// Names returns the registered analyzer names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(validAnalyzers))
+	for n := range validAnalyzers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named analyzer with its default scope. Unknown names are
+// an error spelled with the valid set so CLI messages stay self-updating.
+func New(name string) (*Analyzer, error) {
+	doc, ok := validAnalyzers[name]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown analyzer %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	a := &Analyzer{Name: name, Doc: doc}
+	switch name {
+	case "maporder":
+		a.Scope = DeterministicPackages
+		a.Run = runMapOrder
+	case "nondet":
+		a.Scope = DeterministicPackages
+		a.Run = runNonDet
+	case "ctxflow":
+		a.Scope = CtxFlowPackages
+		a.Run = runCtxFlow
+	default:
+		// Unreachable while the two registration places agree; reaching it
+		// means validAnalyzers gained a name without a factory case.
+		return nil, fmt.Errorf("lint: analyzer %q is registered but has no factory case (update New)", name)
+	}
+	return a, nil
+}
+
+// All returns every registered analyzer with default scopes, in name order.
+func All() []*Analyzer {
+	names := Names()
+	out := make([]*Analyzer, 0, len(names))
+	for _, n := range names {
+		a, err := New(n)
+		if err != nil {
+			panic(err) // registration invariant broken
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// ForNames resolves a comma-separated selection ("" selects all).
+func ForNames(selection string) ([]*Analyzer, error) {
+	if strings.TrimSpace(selection) == "" {
+		return All(), nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(selection, ",") {
+		a, err := New(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

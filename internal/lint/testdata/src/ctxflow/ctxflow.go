@@ -1,0 +1,30 @@
+// Package ctxflow exercises the ctxflow analyzer's three rules: ctx first,
+// sweep entry points cancelable, handed-in ctx threaded (never re-minted).
+package ctxflow
+
+import "context"
+
+func Check() error { return nil } // want "exported sweep entry point Check"
+
+// Verify carries a ctx, so rule 2 is satisfied directly.
+func Verify(ctx context.Context) error { return ctx.Err() }
+
+func SweepSchedules() {} // want "exported sweep entry point SweepSchedules"
+
+type Runner struct{}
+
+// RunSweep may stay ctx-free because the Context-suffixed sibling below
+// carries the cancelable path (the stdlib pairing).
+func (Runner) RunSweep() {}
+
+func (Runner) RunSweepContext(ctx context.Context) { _ = ctx }
+
+func misplaced(a int, ctx context.Context) { _, _ = a, ctx } // want "context.Context must be the first parameter"
+
+func severed(ctx context.Context) context.Context {
+	return context.Background() // want "context.Background inside a function that takes a ctx"
+}
+
+var _ = func(ctx context.Context) context.Context {
+	return context.TODO() // want "context.TODO inside a function that takes a ctx"
+}

@@ -1,0 +1,3 @@
+module lintcheck
+
+go 1.24

@@ -1,0 +1,110 @@
+// Package maporder exercises the maporder analyzer: each want comment pins
+// a finding, every other loop is a recognized order-insensitive idiom.
+package maporder
+
+import "sort"
+
+// Keys is the decorate-sort idiom: append inside, canonical sort right
+// after the loop. This is the one recognized escape hatch.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Leak appends to an outer slice with no sort after the loop.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appends to \"out\" without a canonical sort"
+	}
+	return out
+}
+
+// Send leaks iteration order into channel delivery order.
+func Send(m map[string]int, ch chan string) { // the finding lands on the range below
+	for k := range m { // want "channel send escapes iteration order"
+		ch <- k
+	}
+}
+
+// ScanAndCount mixes an early return with outer writes: how many slots got
+// written depends on which key the runtime visited first.
+func ScanAndCount(m map[string]int, hits map[string]int) bool {
+	for k, v := range m {
+		hits[k] = v
+		if v > 10 {
+			return true // want "early return combined with loop writes"
+		}
+	}
+	return false
+}
+
+// Any is the pure existential scan: a constant return over a read-only
+// body answers the same way no matter the order.
+func Any(m map[string]int) bool {
+	for _, v := range m {
+		if v > 10 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count accumulates an integer: commutative, hence order-free.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sum is compound integer accumulation, equally commutative.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Has is the flag-set idiom: every firing iteration writes the same
+// constant, so last-writer-wins cannot be observed.
+func Has(m map[string]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}
+
+// Verdict writes conflicting constants to one variable: whichever
+// iteration ran last decides, so order escapes.
+func Verdict(m map[string]bool) string {
+	v := "none"
+	for _, ok := range m { // want "conflicting constant writes to v"
+		if ok {
+			v = "yes"
+		} else {
+			v = "no"
+		}
+	}
+	return v
+}
+
+// Invert writes into another map: one write per distinct key commutes.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Package nondet exercises the nondet analyzer: ambient clocks, the global
+// rand source, environment reads and multi-channel select are findings;
+// seeded sources and single-channel polls are not.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func Pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks on the wall clock"
+}
+
+func Jitter() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global source"
+}
+
+// Seeded draws from a caller-owned source: methods are never matched.
+func Seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func Configured() bool {
+	return os.Getenv("FAST") != "" // want "os.Getenv conditions behavior on the environment"
+}
+
+func Race(a, b chan int) int {
+	select { // want "select over 2 channels is scheduler-dependent"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Poll is a deterministic non-blocking read: one channel plus default.
+func Poll(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

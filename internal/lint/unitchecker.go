@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration `go vet -vettool` writes for
+// each package unit. The field set (and the .cfg single-argument protocol)
+// is the contract between cmd/go and x/tools' unitchecker; blazeslint
+// reimplements the subset it needs so the repo stays stdlib-only.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the `-V=full` handshake cmd/go uses to fingerprint
+// a vettool for build caching: the tool prints one line containing its name
+// and a content hash of its own executable.
+func PrintVersion(w io.Writer, progname string) error {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	return nil
+}
+
+// PrintFlagDefs implements the `-flags` handshake: cmd/go asks the tool
+// which flags it supports so it can forward matching `go vet` arguments.
+func PrintFlagDefs(w io.Writer) {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []flagDef{
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+	}
+	for _, name := range Names() {
+		a, _ := New(name)
+		defs = append(defs, flagDef{Name: name, Bool: true, Usage: a.Doc})
+	}
+	data, _ := json.MarshalIndent(defs, "", "\t")
+	fmt.Fprintln(w, string(data))
+}
+
+// RunUnit processes one vet config file: load, type-check against the
+// export data cmd/go already built, run the analyzers, report. It returns
+// the diagnostics (nil on a facts-only invocation) so the caller owns exit
+// codes and rendering.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// cmd/go requires the facts output file to exist even though these
+	// analyzers exchange no facts; write it first so every exit path
+	// (including facts-only dependency visits) satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	applies := false
+	for _, a := range analyzers {
+		if a.AppliesTo(cfg.ImportPath) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := check(cfg.ImportPath, fset, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return Analyze(&Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, analyzers), nil
+}

@@ -29,6 +29,10 @@ type ComponentSpec struct {
 	Variants map[string]AnnotationSpec
 	// VariantOrder preserves file order of variant names.
 	VariantOrder []string
+	// Schema maps output interface names to their attribute lists — the
+	// optional white-box declaration behind seal-key chasing and the
+	// schema-aware lint checks.
+	Schema map[string][]string
 }
 
 // StreamSpec describes one topology edge.
@@ -55,6 +59,7 @@ func (c *Config) Component(name string) *ComponentSpec { return c.byName[name] }
 const (
 	keyAnnotation = "annotation"
 	keyRep        = "Rep"
+	keySchema     = "schema"
 	keyTopology   = "topology"
 )
 
@@ -106,6 +111,12 @@ func parseComponent(name string, v Value) (ComponentSpec, error) {
 				return comp, err
 			}
 			comp.Annotations = append(comp.Annotations, anns...)
+		case keySchema:
+			schema, err := parseSchema(name, val)
+			if err != nil {
+				return comp, err
+			}
+			comp.Schema = schema
 		default:
 			// Named variant: value must be a single annotation map.
 			am, ok := val.(*Map)
@@ -121,6 +132,35 @@ func parseComponent(name string, v Value) (ComponentSpec, error) {
 		}
 	}
 	return comp, nil
+}
+
+// parseSchema reads the reserved `schema` component key: a mapping from
+// output interface name to a list of attribute names. It must be handled
+// before the variant fallback — its value is a mapping too, but its inner
+// values are lists, not annotation maps.
+func parseSchema(comp string, v Value) (map[string][]string, error) {
+	m, ok := v.(*Map)
+	if !ok {
+		return nil, fmt.Errorf("spec: component %q: schema must be a mapping of interface to attribute list", comp)
+	}
+	out := map[string][]string{}
+	for _, iface := range m.Keys() {
+		val, _ := m.Get(iface)
+		list, ok := val.([]Value)
+		if !ok {
+			return nil, fmt.Errorf("spec: component %q: schema for %q must be a list of attribute names", comp, iface)
+		}
+		attrs := make([]string, 0, len(list))
+		for _, item := range list {
+			s, ok := item.(string)
+			if !ok {
+				return nil, fmt.Errorf("spec: component %q: schema attributes for %q must be strings", comp, iface)
+			}
+			attrs = append(attrs, s)
+		}
+		out[iface] = attrs
+	}
+	return out, nil
 }
 
 func parseAnnotations(comp string, v Value) ([]AnnotationSpec, error) {
@@ -276,6 +316,12 @@ func (c *Config) Graph(name string, opts BuildOptions) (*dataflow.Graph, error) 
 	for _, comp := range c.Components {
 		dc := g.Component(comp.Name)
 		dc.Rep = comp.Rep
+		if len(comp.Schema) > 0 {
+			dc.OutSchema = make(map[string]fd.AttrSet, len(comp.Schema))
+			for iface, attrs := range comp.Schema {
+				dc.OutSchema[iface] = fd.NewAttrSet(attrs...)
+			}
+		}
 		anns := append([]AnnotationSpec(nil), comp.Annotations...)
 		if variant, ok := opts.Variants[comp.Name]; ok {
 			spec, found := comp.Variants[variant]

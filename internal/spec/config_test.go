@@ -213,3 +213,44 @@ topology:
 		t.Error("rep flag lost")
 	}
 }
+
+func TestComponentSchemaFromSpec(t *testing.T) {
+	src := `A:
+  annotation: { from: in, to: out, label: CR }
+  schema: { out: [word, batch] }
+topology:
+  sources:
+    - { name: src, to: A.in }
+  sinks:
+    - { name: snk, from: A.out }
+`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Graph("g", BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, ok := g.Lookup("A").OutSchema["out"]
+	if !ok || schema.String() != "batch,word" {
+		t.Errorf("OutSchema[out] = %v (ok=%v), want batch,word", schema, ok)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"schema not map", "A:\n  annotation: { from: a, to: b, label: CR }\n  schema: scalar", "must be a mapping"},
+		{"attrs not list", "A:\n  annotation: { from: a, to: b, label: CR }\n  schema: { b: scalar }", "must be a list"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"blazes"
+)
+
+// TestLintEndpoint drives /lint across a session's lifecycle: clean after
+// create, warning after an incompatible seal lands, read-only throughout
+// (the version a mutation set is reported, never bumped, by linting).
+func TestLintEndpoint(t *testing.T) {
+	h := New(Options{}).Handler()
+
+	code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{
+		Name: "wordcount",
+		Spec: wordcountSpecText(t),
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+
+	code, body = call(t, h, "GET", "/v1/sessions/s1/lint", nil)
+	if code != http.StatusOK {
+		t.Fatalf("lint: %d %s", code, body)
+	}
+	checkGolden(t, "lint_wordcount_clean.json", body)
+	var resp LintResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Errors || len(resp.Diagnostics) != 0 {
+		t.Fatalf("fresh wordcount should lint clean: %+v", resp)
+	}
+	version := resp.Version
+
+	// Seal words on sentiment: Count gates on (word, batch) and sentiment
+	// determines neither attribute, so BLZ005 fires — a warning, not an
+	// error (a batch seal, by contrast, is compatible and clean).
+	code, body = call(t, h, "POST", "/v1/sessions/s1/mutate", MutateRequest{
+		Ops: []MutateOp{{Op: "seal", Stream: "words", Key: []string{"sentiment"}}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+
+	code, body = call(t, h, "GET", "/v1/sessions/s1/lint", nil)
+	if code != http.StatusOK {
+		t.Fatalf("lint after seal: %d %s", code, body)
+	}
+	checkGolden(t, "lint_wordcount_sealed.json", body)
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Diagnostics) != 1 || resp.Diagnostics[0].Code != blazes.CodeSealIncompatible {
+		t.Fatalf("want one %s, got %+v", blazes.CodeSealIncompatible, resp.Diagnostics)
+	}
+	if resp.Errors {
+		t.Error("a warning alone must not set errors")
+	}
+	if resp.Version <= version {
+		t.Errorf("mutation should have bumped the reported version (%d -> %d)", version, resp.Version)
+	}
+
+	// Linting twice reports the same version: the inspection is read-only.
+	code, body = call(t, h, "GET", "/v1/sessions/s1/lint", nil)
+	if code != http.StatusOK {
+		t.Fatalf("second lint: %d %s", code, body)
+	}
+	var again LintResponse
+	if err := json.Unmarshal([]byte(body), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Version != resp.Version {
+		t.Errorf("lint mutated the session: version %d -> %d", resp.Version, again.Version)
+	}
+
+	if code, _ := call(t, h, "GET", "/v1/sessions/nope/lint", nil); code != http.StatusNotFound {
+		t.Errorf("unknown session: %d, want 404", code)
+	}
+}

@@ -82,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/mutate", s.handleMutate)
 	mux.HandleFunc("POST /v1/sessions/{id}/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/sessions/{id}/lint", s.handleLint)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -419,6 +420,38 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// LintResponse carries the severity-ranked BLZnnn graph diagnostics for a
+// session's current graph (see the DESIGN.md catalog). Errors marks whether
+// any diagnostic has error severity — the same condition under which
+// `blazes lint` exits non-zero.
+type LintResponse struct {
+	Session     string                  `json:"session"`
+	Version     uint64                  `json:"version"`
+	Errors      bool                    `json:"errors"`
+	Diagnostics []blazes.LintDiagnostic `json:"diagnostics"`
+}
+
+// handleLint lints the session's current graph. Linting is a read-only
+// inspection: it does not mutate the session or disturb the incremental
+// analysis state, so it can be polled between mutations.
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	diags := e.sess.Lint()
+	if diags == nil {
+		diags = []blazes.LintDiagnostic{}
+	}
+	writeJSON(w, http.StatusOK, LintResponse{
+		Session:     e.id,
+		Version:     e.sess.Version(),
+		Errors:      blazes.HasLintErrors(diags),
+		Diagnostics: diags,
+	})
 }
 
 // VerifyRequest runs the schedule-exploration harness over named built-in
