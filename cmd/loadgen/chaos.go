@@ -1,0 +1,326 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"strings"
+	"time"
+
+	"blazes/service"
+)
+
+// Chaos mode: the kill-9 durability acceptance test. The sequence is
+//
+//  1. spawn `-bin serve -journal dir` and open a mutate burst against it;
+//  2. SIGKILL the server midway through the burst — no drain, no Close,
+//     exactly the crash the journal exists for;
+//  3. respawn on the same journal and wait out the boot replay;
+//  4. hold the recovered state to the client's acknowledgement record:
+//     every acknowledged session must be back, every recovered version
+//     must equal the acknowledged op count (+1 only when one op was
+//     in flight unacknowledged at the kill), and each recovered session's
+//     analysis must be byte-identical to a fresh in-process server fed the
+//     same op sequence.
+//
+// Anything less is lost acknowledged state and exits 1.
+
+// serverProc is a spawned `blazes serve` child.
+type serverProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+var chaosAddrRe = regexp.MustCompile(`serving on (http://[^\s]+)`)
+
+// spawnServer starts `-bin serve` on a free port with the configured
+// journal and waits for the announced address.
+func spawnServer(ctx context.Context, cfg config, stderr io.Writer) (*serverProc, error) {
+	args := []string{"serve", "-addr", "127.0.0.1:0", "-max-sessions", fmt.Sprint(cfg.sessions + 8)}
+	if cfg.journal != "" {
+		args = append(args, "-journal", cfg.journal)
+	}
+	cmd := exec.CommandContext(ctx, cfg.bin, args...)
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawning %s: %w", cfg.bin, err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := chaosAddrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	select {
+	case base := <-addrCh:
+		return &serverProc{cmd: cmd, base: base}, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("%s serve never announced its address", cfg.bin)
+	case <-ctx.Done():
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, ctx.Err()
+	}
+}
+
+// kill delivers SIGKILL — the crash under test, not a shutdown.
+func (p *serverProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+// stop ends a child that outlived its test (best effort; chaos mode
+// normally kills explicitly).
+func (p *serverProc) stop() { p.kill() }
+
+func runChaos(ctx context.Context, cfg config, stdout, stderr io.Writer) int {
+	proc, err := spawnServer(ctx, cfg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return exitError
+	}
+	defer proc.stop()
+
+	// Kill partway through the arrival schedule so the SIGKILL lands amid
+	// in-flight mutates.
+	burstLen := time.Duration(float64(cfg.sessions) / cfg.rate * float64(time.Second))
+	killAt := make(chan struct{})
+	killTimer := time.AfterFunc(burstLen/2, func() {
+		fmt.Fprintf(stderr, "loadgen: chaos: SIGKILL mid-burst\n")
+		proc.kill()
+		close(killAt)
+	})
+	defer killTimer.Stop()
+
+	rec := newRecorder()
+	states := burst(ctx, cfg, proc.base, rec, killAt)
+	select {
+	case <-killAt:
+	default:
+		fmt.Fprintf(stderr, "loadgen: chaos: burst finished before the kill fired — raise -sessions or lower -rate\n")
+		return exitError
+	}
+
+	fmt.Fprintf(stderr, "loadgen: chaos: restarting on %s\n", cfg.journal)
+	proc2, err := spawnServer(ctx, cfg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return exitError
+	}
+	defer proc2.stop()
+	if err := waitRecovered(ctx, proc2.base); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return exitError
+	}
+
+	lost, checked, err := verifyRecovered(ctx, proc2.base, states, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: chaos: %v\n", err)
+		return exitError
+	}
+	ackedOps := 0
+	ackedSessions := 0
+	for _, st := range states {
+		if st.created {
+			ackedSessions++
+			ackedOps += len(st.acked)
+		}
+	}
+	fmt.Fprintf(stderr, "loadgen: chaos: %d acked sessions (%d acked ops), %d differentially checked, %d lost\n",
+		ackedSessions, ackedOps, checked, lost)
+	if lost > 0 {
+		fmt.Fprintf(stderr, "loadgen: chaos: FAIL — acknowledged state was lost\n")
+		return exitError
+	}
+	fmt.Fprintln(stdout, "loadgen: chaos: PASS — zero acknowledged-op loss")
+	return exitOK
+}
+
+// waitRecovered polls /v1/stats until the boot replay finishes.
+func waitRecovered(ctx context.Context, base string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		resp, err := client.Get(base + "/v1/stats")
+		if err == nil {
+			var st struct {
+				Recovering bool `json:"recovering"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && !st.Recovering {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server still recovering after 60s")
+}
+
+// verifyRecovered holds the restarted server to the acknowledgement
+// record. It returns how many sessions lost acknowledged state and how
+// many passed the byte-differential against a fresh replay.
+func verifyRecovered(ctx context.Context, base string, states []*sessionState, stderr io.Writer) (lost, checked int, err error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, st := range states {
+		if !st.created {
+			continue // never acknowledged; the journal owes us nothing
+		}
+		var info service.SessionInfo
+		code, err := getJSON(ctx, client, base+"/v1/sessions/"+st.id, &info)
+		if err != nil {
+			return lost, checked, err
+		}
+		if code != http.StatusOK {
+			fmt.Fprintf(stderr, "loadgen: chaos: %s (load-%d) missing after restart (HTTP %d)\n", st.id, st.index, code)
+			lost++
+			continue
+		}
+		want := len(st.acked)
+		ops := st.acked
+		switch {
+		case info.Version == uint64(want):
+			// exactly the acknowledged sequence
+		case info.Version == uint64(want+1) && st.inflight != nil:
+			// the op in flight at the kill was journaled before the
+			// acknowledgement could be sent — durable, never acked. That
+			// is allowed; fold it into the replay oracle.
+			ops = append(append([]service.MutateOp(nil), st.acked...), *st.inflight)
+		default:
+			fmt.Fprintf(stderr, "loadgen: chaos: %s recovered at version %d, acknowledged %d (inflight %v)\n",
+				st.id, info.Version, want, st.inflight != nil)
+			lost++
+			continue
+		}
+
+		gotRep, err := analyzeBody(ctx, client, base+"/v1/sessions/"+st.id+"/analyze")
+		if err != nil {
+			return lost, checked, err
+		}
+		wantRep, err := freshReplayAnalysis(ctx, st, ops)
+		if err != nil {
+			return lost, checked, fmt.Errorf("fresh replay for %s: %w", st.id, err)
+		}
+		if gotRep != wantRep {
+			fmt.Fprintf(stderr, "loadgen: chaos: %s analysis differs from fresh replay of its acknowledged ops\n", st.id)
+			lost++
+			continue
+		}
+		checked++
+	}
+	return lost, checked, nil
+}
+
+// freshReplayAnalysis rebuilds the session on a fresh in-memory server by
+// replaying its acknowledged ops through the same HTTP surface, and
+// returns the analyze body — the byte-identical oracle for the recovered
+// server's answer.
+func freshReplayAnalysis(ctx context.Context, st *sessionState, ops []service.MutateOp) (string, error) {
+	h := service.New(service.Options{}).Handler()
+	create, err := json.Marshal(service.CreateRequest{Name: fmt.Sprintf("load-%d", st.index), Spec: wordcountSpec})
+	if err != nil {
+		return "", err
+	}
+	if code, body := handlerCall(ctx, h, "POST", "/v1/sessions", string(create)); code != http.StatusCreated {
+		return "", fmt.Errorf("fresh create: %d %s", code, body)
+	}
+	if len(ops) > 0 {
+		mb, err := json.Marshal(service.MutateRequest{Ops: ops})
+		if err != nil {
+			return "", err
+		}
+		if code, body := handlerCall(ctx, h, "POST", "/v1/sessions/s1/mutate", string(mb)); code != http.StatusOK {
+			return "", fmt.Errorf("fresh mutate: %d %s", code, body)
+		}
+	}
+	_, body := handlerCall(ctx, h, "POST", "/v1/sessions/s1/analyze", "")
+	return body, nil
+}
+
+// handlerCall invokes a handler directly (no socket) and returns status
+// and body.
+func handlerCall(ctx context.Context, h http.Handler, method, path, body string) (int, string) {
+	// Always give the request a body: handlers built for real server
+	// requests assume a non-nil Body, which NewRequest only guarantees for
+	// a non-nil reader.
+	req, _ := http.NewRequestWithContext(ctx, method, "http://loadgen"+path, strings.NewReader(body))
+	rec := &responseRecorder{header: http.Header{}}
+	h.ServeHTTP(rec, req)
+	return rec.code, rec.body.String()
+}
+
+// responseRecorder is a minimal httptest.ResponseRecorder stand-in
+// (net/http/httptest is test-only by convention; this binary ships).
+type responseRecorder struct {
+	header http.Header
+	body   strings.Builder
+	code   int
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+func (r *responseRecorder) WriteHeader(c int) {
+	if r.code == 0 {
+		r.code = c
+	}
+}
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode < 300 && out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// analyzeBody POSTs an analyze and returns the raw body for byte
+// comparison.
+func analyzeBody(ctx context.Context, client *http.Client, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

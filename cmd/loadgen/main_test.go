@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunLoadInProcess drives a small in-process burst end to end and
+// checks the report shape bench_diff.sh depends on.
+func TestRunLoadInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-sessions", "12", "-rate", "600", "-mutations", "2", "-out", out,
+	}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Totals.Requests == 0 || rep.Totals.ThroughputRPS == 0 {
+		t.Errorf("empty totals: %+v", rep.Totals)
+	}
+	for _, ep := range []string{"create", "mutate", "analyze"} {
+		if rep.Latency[ep].Count == 0 {
+			t.Errorf("no %s samples", ep)
+		}
+	}
+	// The baseline-diff contract: Benchmark* keys with ns_per_op values.
+	for _, key := range []string{"BenchmarkLoadgenCreateP50", "BenchmarkLoadgenMutateP99", "BenchmarkLoadgenAnalyzeP95"} {
+		if rep.Benchmarks[key]["ns_per_op"] <= 0 {
+			t.Errorf("missing benchmark entry %s", key)
+		}
+	}
+}
+
+// TestRunLoadDurableInProcess exercises the in-process server with a
+// journal attached.
+func TestRunLoadDurableInProcess(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-sessions", "6", "-rate", "600", "-mutations", "1", "-journal", t.TempDir(),
+	}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkLoadgen") {
+		t.Errorf("report missing benchmarks: %s", stdout.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-sessions", "0"},
+		{"-rate", "0"},
+		{"-chaos"},                          // needs -bin and -journal
+		{"-chaos", "-bin", "/bin/false"},    // still needs -journal
+		{"-chaos", "-journal", "/tmp/nope"}, // still needs -bin
+		{"stray"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p := percentiles(nil)
+	if p.Count != 0 {
+		t.Fatal("empty percentiles should be zero")
+	}
+}

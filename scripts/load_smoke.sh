@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# load_smoke.sh — scaled-down load check for CI: run the open-loop
+# generator (cmd/loadgen) with ~200 sessions against an in-process server
+# and diff the latency percentiles against the committed BENCH_7.json
+# baseline (recorded from a 1000-session run; see EXPERIMENTS.md).
+#
+# Usage:
+#   scripts/load_smoke.sh                     # 200 sessions, threshold 5.0×
+#   SESSIONS=1000 THRESHOLD=3.0 scripts/load_smoke.sh
+#
+# CI hardware is slower and noisier than the baseline machine and a smoke
+# burst is 5× smaller, so the comparison runs with a generous threshold
+# and the load-smoke job treats a non-zero exit as NON-BLOCKING — the
+# point is to catch an order-of-magnitude latency rot or a generator that
+# stopped completing sessions, not to gate merges on percentile jitter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SESSIONS="${SESSIONS:-200}"
+RATE="${RATE:-400}"
+THRESHOLD="${THRESHOLD:-5.0}"
+REPORT="$(mktemp)"
+trap 'rm -f "$REPORT"' EXIT
+
+go run ./cmd/loadgen -sessions "$SESSIONS" -rate "$RATE" -mutations 4 -out "$REPORT"
+
+echo
+echo "== percentile diff vs BENCH_7.json (threshold ${THRESHOLD}x) =="
+CURRENT_JSON="$REPORT" BASELINE=BENCH_7.json THRESHOLD="$THRESHOLD" scripts/bench_diff.sh

@@ -1,36 +1,42 @@
 #!/usr/bin/env bash
 # service_smoke.sh — end-to-end smoke test of `blazes serve`: boot the
 # service on a free port, drive one create → mutate → analyze → verify
-# round trip over HTTP, send SIGTERM, and assert a clean (exit 0) shutdown.
-# CI runs this as the service job; it is also the quickest local sanity
-# check after touching blazes/service or cmd/blazes.
+# round trip over HTTP, then prove durability the hard way — kill -9 the
+# journaled server mid-life, restart it on the same journal, and assert
+# the session replays intact — and finally send SIGTERM and assert a
+# clean (exit 0) shutdown. CI runs this as the service job; it is also
+# the quickest local sanity check after touching blazes/service,
+# blazes/internal/journal or cmd/blazes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BIN="$(mktemp -d)/blazes"
 OUT="$(mktemp)"
+JOURNAL="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
 	[[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
-	rm -rf "$(dirname "$BIN")" "$OUT"
+	rm -rf "$(dirname "$BIN")" "$OUT" "$JOURNAL"
 }
 trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/blazes
 
-"$BIN" serve -addr 127.0.0.1:0 -max-sessions 8 >"$OUT" 2>&1 &
-SERVER_PID=$!
-
-# Wait for the announced listen address.
-BASE=""
-for _ in $(seq 1 100); do
-	BASE="$(sed -n 's/.*serving on \(http:\/\/[^ ]*\).*/\1/p' "$OUT" | head -1)"
-	[[ -n "$BASE" ]] && break
-	kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died during startup:"; cat "$OUT"; exit 1; }
-	sleep 0.1
-done
-[[ -n "$BASE" ]] || { echo "server never announced its address:"; cat "$OUT"; exit 1; }
-echo "serving at $BASE"
+boot() { # extra serve flags...
+	: >"$OUT"
+	"$BIN" serve -addr 127.0.0.1:0 -max-sessions 8 "$@" >"$OUT" 2>&1 &
+	SERVER_PID=$!
+	# Wait for the announced listen address.
+	BASE=""
+	for _ in $(seq 1 100); do
+		BASE="$(sed -n 's/.*serving on \(http:\/\/[^ ]*\).*/\1/p' "$OUT" | head -1)"
+		[[ -n "$BASE" ]] && break
+		kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died during startup:"; cat "$OUT"; exit 1; }
+		sleep 0.1
+	done
+	[[ -n "$BASE" ]] || { echo "server never announced its address:"; cat "$OUT"; exit 1; }
+	echo "serving at $BASE"
+}
 
 fetch() { # method path [body]
 	local method=$1 path=$2 body=${3:-}
@@ -51,8 +57,22 @@ expect() { # label haystack needle
 	echo "ok: $label"
 }
 
+wait_ready() {
+	# Writes shed 503 while the boot replay runs — wait for the server to
+	# leave read-only mode before driving traffic.
+	for _ in $(seq 1 100); do
+		[[ "$(fetch GET /v1/stats || true)" == *'"recovering": false'* ]] && return 0
+		sleep 0.1
+	done
+	echo "server never finished its boot replay:"
+	cat "$OUT"
+	exit 1
+}
+
 SPEC='Count:\n  annotation: {from: words, to: counts, label: OW, subscript: [word, batch]}\ntopology:\n  sources:\n    - {name: words, to: Count.words}\n  sinks:\n    - {name: counts, from: Count.counts}\n'
 
+boot -journal "$JOURNAL"
+wait_ready
 expect healthz "$(fetch GET /healthz)" '"ok": true'
 expect create "$(fetch POST /v1/sessions "{\"name\":\"wc\",\"spec\":\"$SPEC\"}")" '"session": "s1"'
 expect analyze-unsealed "$(fetch POST /v1/sessions/s1/analyze)" '"kind": "Run"'
@@ -61,6 +81,22 @@ ANALYZE2="$(fetch POST /v1/sessions/s1/analyze '{"synthesize":true}')"
 expect analyze-sealed "$ANALYZE2" '"kind": "Async"'
 expect analyze-delta "$ANALYZE2" '"delta"'
 expect verify "$(fetch POST /v1/verify '{"workloads":["synthetic-set"],"seeds":8,"parallelism":2}')" '"holds": true'
+expect stats "$(fetch GET /v1/stats)" '"durable": true'
+
+# Crash recovery: kill -9 (no drain, no journal close), restart on the
+# same journal, and require the acknowledged session state back.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "killed -9; restarting on the journal"
+boot -journal "$JOURNAL"
+wait_ready
+RECOVERED="$(fetch GET /v1/sessions/s1)"
+expect recovered-session "$RECOVERED" '"recovered": true'
+expect recovered-version "$RECOVERED" '"version": 1'
+expect recovered-stats "$(fetch GET /v1/stats)" '"recovered_sessions": 1'
+# The recovered session must analyze like the original sealed session did.
+expect recovered-analyze "$(fetch POST /v1/sessions/s1/analyze)" '"kind": "Async"'
 
 # Graceful shutdown: SIGTERM must yield exit code 0.
 kill -TERM "$SERVER_PID"

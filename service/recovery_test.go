@@ -1,0 +1,294 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// newDurable opens a journaled server on dir and waits out the boot
+// replay, failing the test on any error.
+func newDurable(t *testing.T, dir string, opts Options) *Server {
+	t.Helper()
+	opts.JournalDir = dir
+	srv, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitRecovered(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// randomOp draws one mutation from a pool of ops against the wordcount
+// spec. Some draws are invalid in some states (removing an edge that is
+// not there); the caller tracks which ops were acknowledged, which is
+// exactly the durability contract under test.
+func randomOp(rng *rand.Rand) MutateOp {
+	switch rng.Intn(7) {
+	case 0:
+		return MutateOp{Op: "seal", Stream: "tweets", Key: []string{"batch"}}
+	case 1:
+		return MutateOp{Op: "seal", Stream: "tweets"} // unseal
+	case 2:
+		return MutateOp{Op: "annotate", Component: "Count", From: "words", To: "counts", Label: "OW", Subscript: []string{"word", "batch"}}
+	case 3:
+		return MutateOp{Op: "annotate", Component: "Splitter", From: "tweets", To: "words", Label: "OR", Subscript: []string{"id"}}
+	case 4:
+		return MutateOp{Op: "connect", Stream: "tap", From: "Count.counts", To: ""}
+	case 5:
+		return MutateOp{Op: "remove-edge", Stream: "tap"}
+	default:
+		return MutateOp{Op: "annotate", Component: "Commit", From: "counts", To: "db", Label: "CW"}
+	}
+}
+
+// TestRecoveryDifferential is the acceptance check for the durability
+// tentpole: feed many sessions randomized op sequences through a journaled
+// server, crash it (no Close — the journal must already be durable),
+// recover, and require every recovered session's analysis to be
+// byte-identical to a fresh in-memory server fed the same acknowledged
+// sequence. Only acknowledged ops count: that is the contract.
+func TestRecoveryDifferential(t *testing.T) {
+	const sessions = 100
+	dir := t.TempDir()
+	srv := newDurable(t, dir, Options{MaxSessions: sessions})
+	h := srv.Handler()
+	spec := wordcountSpecText(t)
+	rng := rand.New(rand.NewSource(7))
+
+	acked := make([][]MutateOp, sessions)
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("s%d", i+1)
+		if code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{Name: id, Spec: spec}); code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", id, code, body)
+		}
+		n := 3 + rng.Intn(8)
+		for k := 0; k < n; k++ {
+			op := randomOp(rng)
+			code, body := call(t, h, "POST", "/v1/sessions/"+id+"/mutate", MutateRequest{Ops: []MutateOp{op}})
+			switch code {
+			case http.StatusOK:
+				acked[i] = append(acked[i], op)
+			case http.StatusBadRequest:
+				// invalid in this state; not acknowledged, not expected back
+			default:
+				t.Fatalf("mutate %s: %d %s", id, code, body)
+			}
+		}
+	}
+	// Crash: drop the server without Close. Every acknowledged append has
+	// already been fsynced, so the journal on disk is the full record.
+	srv = nil
+
+	re := newDurable(t, dir, Options{MaxSessions: sessions})
+	defer re.Close()
+	rh := re.Handler()
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("s%d", i+1)
+		code, got := call(t, rh, "GET", "/v1/sessions/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("recovered get %s: %d %s", id, code, got)
+		}
+		if !strings.Contains(got, `"recovered": true`) {
+			t.Errorf("%s should report recovered: %s", id, got)
+		}
+		if want := fmt.Sprintf(`"version": %d`, len(acked[i])); !strings.Contains(got, want) {
+			t.Errorf("%s: want %s in %s", id, want, got)
+		}
+
+		_, gotRep := call(t, rh, "POST", "/v1/sessions/"+id+"/analyze", nil)
+
+		// Differential oracle: a fresh in-memory server fed the same
+		// acknowledged sequence must produce the same bytes.
+		fresh := New(Options{})
+		fh := fresh.Handler()
+		if code, body := call(t, fh, "POST", "/v1/sessions", CreateRequest{Name: id, Spec: spec}); code != http.StatusCreated {
+			t.Fatalf("fresh create: %d %s", code, body)
+		}
+		if len(acked[i]) > 0 {
+			if code, body := call(t, fh, "POST", "/v1/sessions/s1/mutate", MutateRequest{Ops: acked[i]}); code != http.StatusOK {
+				t.Fatalf("fresh replay %s: %d %s", id, code, body)
+			}
+		}
+		_, wantRep := call(t, fh, "POST", "/v1/sessions/s1/analyze", nil)
+		if gotRep != wantRep {
+			t.Errorf("%s: recovered analysis differs from fresh replay\n got: %s\nwant: %s", id, gotRep, wantRep)
+		}
+	}
+}
+
+// TestRecoveryTornTail appends garbage after a valid journal (a torn final
+// write) and requires recovery to keep every acknowledged op, drop the
+// tail, and stay writable.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurable(t, dir, Options{})
+	h := srv.Handler()
+	spec := wordcountSpecText(t)
+	if code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{Name: "keep", Spec: spec}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	seal := MutateOp{Op: "seal", Stream: "tweets", Key: []string{"batch"}}
+	if code, body := call(t, h, "POST", "/v1/sessions/s1/mutate", MutateRequest{Ops: []MutateOp{seal}}); code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*"))
+	if err != nil || len(wals) == 0 {
+		t.Fatalf("no wal segments (%v)", err)
+	}
+	f, err := os.OpenFile(wals[len(wals)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := newDurable(t, dir, Options{})
+	defer re.Close()
+	rh := re.Handler()
+	if code, body := call(t, rh, "GET", "/v1/sessions/s1", nil); code != http.StatusOK || !strings.Contains(body, `"version": 1`) {
+		t.Fatalf("recovered s1: %d %s", code, body)
+	}
+	// The server must still be writable, and ids must not be reused.
+	if code, body := call(t, rh, "POST", "/v1/sessions", CreateRequest{Name: "after", Spec: spec}); code != http.StatusCreated || !strings.Contains(body, `"session": "s2"`) {
+		t.Fatalf("create after torn-tail recovery: %d %s", code, body)
+	}
+}
+
+// TestRecoveryDeleteAndEvict checks that deletes and LRU evictions are
+// part of the durable history: a deleted session stays deleted after a
+// restart, and an evicted one comes back as a tombstone, not a session.
+func TestRecoveryDeleteAndEvict(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurable(t, dir, Options{MaxSessions: 2})
+	h := srv.Handler()
+	spec := wordcountSpecText(t)
+	for i := 1; i <= 3; i++ {
+		if code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{Name: fmt.Sprintf("n%d", i), Spec: spec}); code != http.StatusCreated {
+			t.Fatalf("create %d: %d %s", i, code, body)
+		}
+	}
+	// s1 was evicted by the LRU bound; now delete s2 explicitly.
+	if code, _ := call(t, h, "DELETE", "/v1/sessions/s2", nil); code != http.StatusNoContent {
+		t.Fatalf("delete s2: %d", code)
+	}
+	srv = nil // crash
+
+	re := newDurable(t, dir, Options{MaxSessions: 2})
+	defer re.Close()
+	rh := re.Handler()
+	if code, body := call(t, rh, "GET", "/v1/sessions/s1", nil); code != http.StatusGone || !strings.Contains(body, `"evicted"`) {
+		t.Errorf("s1 should be a tombstone after restart: %d %s", code, body)
+	}
+	if code, _ := call(t, rh, "GET", "/v1/sessions/s2", nil); code != http.StatusNotFound {
+		t.Errorf("s2 should stay deleted after restart (code %d)", code)
+	}
+	if code, body := call(t, rh, "GET", "/v1/sessions/s3", nil); code != http.StatusOK {
+		t.Errorf("s3 should survive restart: %d %s", code, body)
+	}
+	// New ids continue after the highest ever assigned.
+	if code, body := call(t, rh, "POST", "/v1/sessions", CreateRequest{Spec: spec}); code != http.StatusCreated || !strings.Contains(body, `"session": "s4"`) {
+		t.Errorf("create after restart: %d %s", code, body)
+	}
+}
+
+// TestRecoverySnapshotCompaction drives enough records to trigger
+// snapshots and checks the compacted journal still recovers everything.
+func TestRecoverySnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurable(t, dir, Options{SnapshotEvery: 8})
+	h := srv.Handler()
+	spec := wordcountSpecText(t)
+	if code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{Name: "snap", Spec: spec}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	seal := MutateOp{Op: "seal", Stream: "tweets", Key: []string{"batch"}}
+	unseal := MutateOp{Op: "seal", Stream: "tweets"}
+	for i := 0; i < 20; i++ {
+		op := seal
+		if i%2 == 1 {
+			op = unseal
+		}
+		if code, body := call(t, h, "POST", "/v1/sessions/s1/mutate", MutateRequest{Ops: []MutateOp{op}}); code != http.StatusOK {
+			t.Fatalf("mutate %d: %d %s", i, code, body)
+		}
+	}
+	st := srv.jrn.Stats()
+	if st.Snapshots == 0 {
+		t.Fatalf("expected at least one snapshot, stats %+v", st)
+	}
+	srv = nil // crash
+
+	re := newDurable(t, dir, Options{})
+	defer re.Close()
+	rh := re.Handler()
+	if code, body := call(t, rh, "GET", "/v1/sessions/s1", nil); code != http.StatusOK || !strings.Contains(body, `"version": 20`) {
+		t.Fatalf("recovered s1: %d %s", code, body)
+	}
+}
+
+// TestReadOnlyWhileRecovering pins the degradation contract: while the
+// boot replay runs, writes and analysis shed with 503 + Retry-After, while
+// list/get/healthz/stats keep answering.
+func TestReadOnlyWhileRecovering(t *testing.T) {
+	srv := New(Options{})
+	srv.recovering.Store(true)
+	h := srv.Handler()
+	spec := wordcountSpecText(t)
+	if code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{Spec: spec}); code != http.StatusServiceUnavailable {
+		t.Fatalf("create during recovery: %d %s", code, body)
+	}
+	if code, _ := call(t, h, "POST", "/v1/sessions/s1/analyze", nil); code != http.StatusServiceUnavailable {
+		t.Fatal("analyze should shed during recovery")
+	}
+	if code, body := call(t, h, "GET", "/v1/sessions", nil); code != http.StatusOK || !strings.Contains(body, `"recovering": true`) {
+		t.Fatalf("list during recovery: %d %s", code, body)
+	}
+	if code, body := call(t, h, "GET", "/healthz", nil); code != http.StatusOK || !strings.Contains(body, `"recovering": true`) {
+		t.Fatalf("healthz during recovery: %d %s", code, body)
+	}
+	if code, body := call(t, h, "GET", "/v1/stats", nil); code != http.StatusOK || !strings.Contains(body, `"read_only_rejected": 2`) {
+		t.Fatalf("stats during recovery: %d %s", code, body)
+	}
+	srv.recovering.Store(false)
+	if code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{Spec: spec}); code != http.StatusCreated {
+		t.Fatalf("create after recovery: %d %s", code, body)
+	}
+}
+
+// TestBrokenJournalPoisonsWrites pins the poisoned read-only mode: after a
+// failed append the server keeps serving reads but refuses new writes.
+func TestBrokenJournalPoisonsWrites(t *testing.T) {
+	srv := New(Options{})
+	h := srv.Handler()
+	spec := wordcountSpecText(t)
+	if code, body := call(t, h, "POST", "/v1/sessions", CreateRequest{Spec: spec}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	srv.journalBroken.Store(true)
+	if code, _ := call(t, h, "POST", "/v1/sessions", CreateRequest{Spec: spec}); code != http.StatusServiceUnavailable {
+		t.Fatal("create should shed when the journal is broken")
+	}
+	seal := MutateOp{Op: "seal", Stream: "tweets", Key: []string{"batch"}}
+	if code, _ := call(t, h, "POST", "/v1/sessions/s1/mutate", MutateRequest{Ops: []MutateOp{seal}}); code != http.StatusServiceUnavailable {
+		t.Fatal("mutate should shed when the journal is broken")
+	}
+	// Reads — including analysis, which mutates nothing durable — survive.
+	if code, _ := call(t, h, "POST", "/v1/sessions/s1/analyze", nil); code != http.StatusOK {
+		t.Fatal("analyze should keep working when the journal is broken")
+	}
+	if code, body := call(t, h, "GET", "/v1/stats", nil); code != http.StatusOK || !strings.Contains(body, `"journal_broken": true`) {
+		t.Fatalf("stats should report journal_broken: %d %s", code, body)
+	}
+}

@@ -9,28 +9,49 @@
 // Request contexts are honored end to end: an aborted analyze or verify
 // request cancels the underlying derivation or schedule sweep.
 //
+// The service practices the fault-tolerance discipline it analyzes:
+//
+//   - Durability (Open with Options.JournalDir): every acknowledged
+//     mutation is journaled — fsync-batched, snapshot-compacted — and
+//     replayed on boot, so a kill -9 loses nothing a client was told
+//     succeeded. While the boot replay rebuilds sessions the server
+//     degrades to read-only (writes shed with 503) instead of blocking.
+//     See durability.go for the write protocol.
+//   - Backpressure: the expensive paths (create, mutate, analyze, verify)
+//     pass a bounded admission gate; beyond the concurrency slots and the
+//     bounded wait queue, requests shed with 429 + Retry-After instead of
+//     queueing unboundedly. See admission.go.
+//   - Observability: GET /v1/stats reports sessions, journal lag, queue
+//     depth, shed counts and latency percentiles. See stats.go.
+//
 // Endpoints (all JSON):
 //
 //	POST   /v1/sessions              create a session from a spec
-//	GET    /v1/sessions              list open sessions
-//	GET    /v1/sessions/{id}         inspect one session
+//	GET    /v1/sessions              list open sessions (+ tombstones)
+//	GET    /v1/sessions/{id}         inspect one session (410 if evicted)
 //	POST   /v1/sessions/{id}/mutate  apply a batch of mutations in order
 //	POST   /v1/sessions/{id}/analyze incremental (re-)analysis → Report v2
 //	DELETE /v1/sessions/{id}         close a session
 //	POST   /v1/verify                run schedule-exploration verification
+//	GET    /v1/stats                 load/durability/latency statistics
 //	GET    /healthz                  liveness + session count
 package service
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"blazes"
+	"blazes/internal/journal"
 	"blazes/verify"
 )
 
@@ -38,17 +59,47 @@ import (
 // Options.MaxSessions is zero.
 const DefaultMaxSessions = 64
 
+// DefaultSnapshotEvery is the journal-record interval between snapshots
+// when Options.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 1024
+
+// DefaultMaxQueue is the admission wait-queue bound when Options.MaxQueue
+// is zero.
+const DefaultMaxQueue = 256
+
+// DefaultQueueTimeout caps the time a request waits for an admission slot
+// when Options.QueueTimeout is zero.
+const DefaultQueueTimeout = 2 * time.Second
+
 // Options configures a Server.
 type Options struct {
 	// MaxSessions caps concurrently open sessions; the least recently
 	// used session is evicted when a create would exceed it. 0 selects
 	// DefaultMaxSessions.
 	MaxSessions int
+
+	// JournalDir, when non-empty, makes the server durable: acknowledged
+	// mutations are journaled there and replayed by Open after a restart.
+	// New ignores it — only Open wires durability.
+	JournalDir string
+	// SnapshotEvery is the number of journal records between snapshots
+	// (compaction); 0 selects DefaultSnapshotEvery.
+	SnapshotEvery int
+
+	// MaxConcurrent bounds concurrently admitted expensive requests
+	// (create/mutate/analyze/verify); 0 selects GOMAXPROCS (min 2).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an admission slot; beyond it
+	// requests shed immediately with 429. 0 selects DefaultMaxQueue.
+	MaxQueue int
+	// QueueTimeout caps the wait for a slot; a request still queued when
+	// it fires sheds with 429. 0 selects DefaultQueueTimeout.
+	QueueTimeout time.Duration
 }
 
-// Server hosts analysis sessions. Create one with New and mount Handler on
-// an http.Server (or use the `blazes serve` subcommand). Methods are safe
-// for concurrent use.
+// Server hosts analysis sessions. Create one with New (in-memory) or Open
+// (durable) and mount Handler on an http.Server (or use the `blazes
+// serve` subcommand). Methods are safe for concurrent use.
 type Server struct {
 	mu     sync.Mutex
 	max    int
@@ -56,6 +107,33 @@ type Server struct {
 	byID   map[string]*entry
 	// lru orders entries most-recently-used first.
 	lru *list.List
+	// tombstones remember evicted/unrecoverable sessions (bounded FIFO).
+	tombstones []Tombstone
+
+	// Durability (nil jrn = in-memory server). snapMu serializes writers
+	// (read lock around apply+journal) against snapshots (write lock), so
+	// a snapshot always covers every record at or below its seq.
+	jrn           *journal.Journal
+	snapMu        sync.RWMutex
+	snapEvery     int
+	snapshotting  atomic.Bool
+	journalBroken atomic.Bool
+
+	// Recovery: while recovering, writes shed with 503 and sessions appear
+	// as the background replay rebuilds them.
+	recovering     atomic.Bool
+	recoveredCh    chan struct{}
+	recoveredCount atomic.Int64
+	replayErrors   atomic.Int64
+
+	// Admission + observability.
+	gate             *gate
+	evictedTotal     atomic.Uint64
+	readOnlyRejected atomic.Uint64
+	createLat        latencyHist
+	mutateLat        latencyHist
+	analyzeLat       latencyHist
+	verifyLat        latencyHist
 }
 
 type entry struct {
@@ -63,15 +141,102 @@ type entry struct {
 	name string
 	sess *blazes.Session
 	elem *list.Element
+	// recovered marks a session rebuilt from the journal after a restart.
+	recovered bool
+
+	// opMu serializes this session's mutate batches so the journal's
+	// per-session record order always matches the apply order. create is
+	// the request that opened the session and ops every op acknowledged
+	// since — together they are the session's durable identity.
+	opMu   sync.Mutex
+	create CreateRequest
+	ops    []MutateOp
 }
 
-// New creates an empty server.
+// New creates an in-memory server (no durability even if opts.JournalDir
+// is set — use Open for that).
 func New(opts Options) *Server {
 	max := opts.MaxSessions
 	if max <= 0 {
 		max = DefaultMaxSessions
 	}
-	return &Server{max: max, byID: map[string]*entry{}, lru: list.New()}
+	maxConc := opts.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = runtime.GOMAXPROCS(0)
+		if maxConc < 2 {
+			maxConc = 2
+		}
+	}
+	maxQueue := opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	queueTimeout := opts.QueueTimeout
+	if queueTimeout <= 0 {
+		queueTimeout = DefaultQueueTimeout
+	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = DefaultSnapshotEvery
+	}
+	s := &Server{
+		max:         max,
+		byID:        map[string]*entry{},
+		lru:         list.New(),
+		snapEvery:   snapEvery,
+		gate:        newGate(maxConc, maxQueue, queueTimeout),
+		recoveredCh: make(chan struct{}),
+	}
+	close(s.recoveredCh) // nothing to recover
+	return s
+}
+
+// Open creates a durable server: it opens (or creates) the journal in
+// opts.JournalDir, truncates any torn tail, and starts the boot replay in
+// the background — the returned server serves reads immediately and sheds
+// writes with 503 until WaitRecovered unblocks. With an empty JournalDir
+// it is equivalent to New.
+func Open(opts Options) (*Server, error) {
+	s := New(opts)
+	if opts.JournalDir == "" {
+		return s, nil
+	}
+	jrn, recovered, err := journal.Open(opts.JournalDir)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	plan, err := planRecovery(recovered)
+	if err != nil {
+		jrn.Close()
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.jrn = jrn
+	s.recoveredCh = make(chan struct{})
+	s.recovering.Store(true)
+	go s.recoverSessions(plan)
+	return s, nil
+}
+
+// WaitRecovered blocks until the boot replay has rebuilt every journaled
+// session (immediately for in-memory servers), or until ctx is done.
+func (s *Server) WaitRecovered(ctx context.Context) error {
+	select {
+	case <-s.recoveredCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close flushes and closes the journal (a no-op for in-memory servers).
+// It waits for a boot replay in progress, so the journal it closes is
+// complete.
+func (s *Server) Close() error {
+	<-s.recoveredCh
+	if s.jrn == nil {
+		return nil
+	}
+	return s.jrn.Close()
 }
 
 // Handler returns the service's HTTP handler.
@@ -85,6 +250,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/lint", s.handleLint)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -108,6 +274,70 @@ func (s *Server) lookup(id string) (*entry, bool) {
 		s.touch(e)
 	}
 	return e, ok
+}
+
+// fetch is lookup plus the error response: 410 with the tombstone when the
+// session was evicted or lost, 404 when it never existed.
+func (s *Server) fetch(w http.ResponseWriter, id string) (*entry, bool) {
+	e, ok := s.lookup(id)
+	if ok {
+		return e, true
+	}
+	s.mu.Lock()
+	var tomb *Tombstone
+	for i := range s.tombstones {
+		if s.tombstones[i].Session == id {
+			tomb = &s.tombstones[i]
+			break
+		}
+	}
+	s.mu.Unlock()
+	if tomb != nil {
+		writeJSON(w, http.StatusGone, map[string]any{
+			"error":     fmt.Sprintf("session %q is %s", id, tomb.State),
+			"tombstone": *tomb,
+		})
+		return nil, false
+	}
+	writeError(w, http.StatusNotFound, "unknown session %q", id)
+	return nil, false
+}
+
+// admit passes the request through the admission gate; on shed it writes
+// the 429 (+ Retry-After) or 408 response itself. The returned release
+// must be called when ok.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.gate.acquire(r.Context().Done())
+	switch {
+	case err == nil:
+		return release, true
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.gate.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "overloaded: admission queue is full, retry later")
+		return nil, false
+	default: // the request's own deadline/disconnect fired while queued
+		writeError(w, http.StatusRequestTimeout, "request canceled while queued for admission")
+		return nil, false
+	}
+}
+
+// available rejects requests the server cannot serve right now: during the
+// boot replay every expensive path degrades to 503 (read-only), and a
+// poisoned journal keeps state-changing paths (write=true) shut so the
+// server never acknowledges a mutation it cannot make durable.
+func (s *Server) available(w http.ResponseWriter, write bool) bool {
+	if s.recovering.Load() {
+		s.readOnlyRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "recovering: journal replay in progress, serving read-only")
+		return false
+	}
+	if write && s.journalBroken.Load() {
+		s.readOnlyRejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "journal failed: server is read-only (see /v1/stats)")
+		return false
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -176,41 +406,17 @@ type CreateRequest struct {
 	Sequencing bool `json:"sequencing,omitempty"`
 }
 
-// SessionInfo describes one open session.
-type SessionInfo struct {
-	Session    string   `json:"session"`
-	Name       string   `json:"name"`
-	Version    uint64   `json:"version"`
-	Components []string `json:"components,omitempty"`
-	Streams    []string `json:"streams,omitempty"`
-}
-
-func (s *Server) info(e *entry, detail bool) SessionInfo {
-	si := SessionInfo{Session: e.id, Name: e.name, Version: e.sess.Version()}
-	if detail {
-		si.Components = e.sess.ComponentNames()
-		si.Streams = e.sess.StreamNames()
-	}
-	return si
-}
-
-func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// NewSession opens the session the request describes. Exported because it
+// is the rebuild path shared by the live create handler, crash-recovery
+// replay, and external differential checkers (cmd/loadgen): a session is
+// its CreateRequest plus its acknowledged op stream.
+func (req CreateRequest) NewSession() (*blazes.Session, error) {
 	if req.Spec == "" {
-		writeError(w, http.StatusBadRequest, "spec is required")
-		return
+		return nil, fmt.Errorf("spec is required")
 	}
 	spec, err := blazes.ParseSpec(req.Spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	name := req.Name
-	if name == "" {
-		name = "session"
+		return nil, err
 	}
 	opts := []blazes.Option{blazes.WithVariants(req.Variants)}
 	if req.Sequencing {
@@ -219,25 +425,88 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	for stream, key := range req.Seals {
 		opts = append(opts, blazes.WithSealRepair(stream, key...))
 	}
-	sess, err := spec.OpenSession(name, opts...)
+	return spec.OpenSession(req.SessionName(), opts...)
+}
+
+// SessionName returns the request's name with the default applied.
+func (req CreateRequest) SessionName() string {
+	if req.Name == "" {
+		return "session"
+	}
+	return req.Name
+}
+
+// SessionInfo describes one open session.
+type SessionInfo struct {
+	Session string `json:"session"`
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	// State is "open" for live sessions ("evicted"/"unrecoverable"
+	// sessions appear as tombstones, not SessionInfos).
+	State string `json:"state"`
+	// Recovered marks a session rebuilt from the journal after a restart.
+	Recovered  bool     `json:"recovered,omitempty"`
+	Components []string `json:"components,omitempty"`
+	Streams    []string `json:"streams,omitempty"`
+}
+
+func (s *Server) info(e *entry, detail bool) SessionInfo {
+	si := SessionInfo{Session: e.id, Name: e.name, Version: e.sess.Version(), State: "open", Recovered: e.recovered}
+	if detail {
+		si.Components = e.sess.ComponentNames()
+		si.Streams = e.sess.StreamNames()
+	}
+	return si
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.available(w, true) {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+
+	var req CreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Spec == "" {
+		writeError(w, http.StatusBadRequest, "spec is required")
+		return
+	}
+	sess, err := req.NewSession()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
+	// The create record goes to the journal before the session becomes
+	// visible; the snapMu read lock spans id assignment, append and
+	// insertion so a concurrent snapshot cannot cover the record's seq
+	// without containing the session.
+	s.snapMu.RLock()
 	s.mu.Lock()
 	s.nextID++
-	e := &entry{id: fmt.Sprintf("s%d", s.nextID), name: name, sess: sess}
+	e := &entry{id: fmt.Sprintf("s%d", s.nextID), name: req.SessionName(), sess: sess, create: req}
+	s.mu.Unlock()
+	if err := s.appendRecord(journalRecord{Kind: "create", Session: e.id, Name: e.name, Create: &req}); err != nil {
+		s.snapMu.RUnlock()
+		writeError(w, http.StatusInternalServerError, "journal: %v", err)
+		return
+	}
+	s.mu.Lock()
 	e.elem = s.lru.PushFront(e)
 	s.byID[e.id] = e
-	for len(s.byID) > s.max {
-		oldest := s.lru.Back()
-		ev := oldest.Value.(*entry)
-		s.lru.Remove(oldest)
-		delete(s.byID, ev.id)
-	}
+	s.evictOverflowLocked()
 	s.mu.Unlock()
+	s.snapMu.RUnlock()
 
+	s.createLat.observe(time.Since(start))
+	s.maybeSnapshot()
 	writeJSON(w, http.StatusCreated, s.info(e, true))
 }
 
@@ -250,25 +519,36 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for el := s.lru.Front(); el != nil; el = el.Next() {
 		entries = append(entries, el.Value.(*entry))
 	}
+	tombs := append([]Tombstone(nil), s.tombstones...)
 	s.mu.Unlock()
 	out := make([]SessionInfo, 0, len(entries))
 	for _, e := range entries {
-		out = append(out, SessionInfo{Session: e.id, Name: e.name, Version: e.sess.Version()})
+		out = append(out, s.info(e, false))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+	resp := map[string]any{"sessions": out}
+	if len(tombs) > 0 {
+		resp["evicted"] = tombs
+	}
+	if s.recovering.Load() {
+		resp["recovering"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(r.PathValue("id"))
+	e, ok := s.fetch(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.info(e, true))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.available(w, true) {
+		return
+	}
 	id := r.PathValue("id")
+	s.snapMu.RLock()
 	s.mu.Lock()
 	e, ok := s.byID[id]
 	if ok {
@@ -276,10 +556,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		delete(s.byID, id)
 	}
 	s.mu.Unlock()
+	var jerr error
+	if ok {
+		jerr = s.appendRecord(journalRecord{Kind: "delete", Session: id})
+	}
+	s.snapMu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
+	if jerr != nil {
+		writeError(w, http.StatusInternalServerError, "journal: %v", jerr)
+		return
+	}
+	s.maybeSnapshot()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -322,13 +612,20 @@ type MutateRequest struct {
 	Ops []MutateOp `json:"ops"`
 }
 
-// MutateResponse acknowledges an applied batch.
+// MutateResponse acknowledges an applied batch. Durable reports that the
+// applied ops were journaled before this acknowledgement (always true on
+// durable servers, false on in-memory ones).
 type MutateResponse struct {
 	Version uint64 `json:"version"`
 	Applied int    `json:"applied"`
+	Durable bool   `json:"durable,omitempty"`
 }
 
-func applyOp(sess *blazes.Session, op MutateOp) error {
+// Apply applies the op to sess. Exported because it is the replay half of
+// the durability contract: crash recovery and differential checkers
+// (cmd/loadgen, the recovery tests) re-apply journaled op streams with
+// exactly the semantics the mutate endpoint used.
+func (op MutateOp) Apply(sess *blazes.Session) error {
 	switch op.Op {
 	case "seal":
 		return sess.SealStream(op.Stream, op.Key...)
@@ -360,9 +657,18 @@ func applyOp(sess *blazes.Session, op MutateOp) error {
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(r.PathValue("id"))
+	if !s.available(w, true) {
+		return
+	}
+	release, ok := s.admit(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	defer release()
+	start := time.Now()
+
+	e, ok := s.fetch(w, r.PathValue("id"))
+	if !ok {
 		return
 	}
 	var req MutateRequest
@@ -373,16 +679,45 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ops is required")
 		return
 	}
+
+	// Apply, then journal, then acknowledge. opMu keeps this session's
+	// journal order identical to its apply order; the snapMu read lock
+	// keeps the applied-but-unjournaled window invisible to snapshots.
+	e.opMu.Lock()
+	s.snapMu.RLock()
+	applied := 0
+	var opErr error
 	for i, op := range req.Ops {
-		if err := applyOp(e.sess, op); err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{
-				Error:   fmt.Sprintf("op %d (%s): %v", i, op.Op, err),
-				Applied: i,
-			})
-			return
+		if err := op.Apply(e.sess); err != nil {
+			opErr = fmt.Errorf("op %d (%s): %v", i, op.Op, err)
+			break
+		}
+		applied = i + 1
+	}
+	var jerr error
+	if applied > 0 {
+		jerr = s.appendRecord(journalRecord{Kind: "mutate", Session: e.id, Ops: req.Ops[:applied]})
+		if jerr == nil {
+			e.ops = append(e.ops, req.Ops[:applied]...)
 		}
 	}
-	writeJSON(w, http.StatusOK, MutateResponse{Version: e.sess.Version(), Applied: len(req.Ops)})
+	s.snapMu.RUnlock()
+	e.opMu.Unlock()
+
+	if jerr != nil {
+		// The ops are applied in memory but not durable: the server is
+		// now poisoned read-only (see durability.go) and this batch is
+		// NOT acknowledged.
+		writeError(w, http.StatusInternalServerError, "journal: %v", jerr)
+		return
+	}
+	if opErr != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: opErr.Error(), Applied: applied})
+		return
+	}
+	s.mutateLat.observe(time.Since(start))
+	s.maybeSnapshot()
+	writeJSON(w, http.StatusOK, MutateResponse{Version: e.sess.Version(), Applied: applied, Durable: s.jrn != nil})
 }
 
 // AnalyzeRequest tunes one analysis; an empty body is a plain Analyze.
@@ -393,9 +728,18 @@ type AnalyzeRequest struct {
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(r.PathValue("id"))
+	if !s.available(w, false) {
+		return
+	}
+	release, ok := s.admit(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	defer release()
+	start := time.Now()
+
+	e, ok := s.fetch(w, r.PathValue("id"))
+	if !ok {
 		return
 	}
 	var req AnalyzeRequest
@@ -419,6 +763,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
+	s.analyzeLat.observe(time.Since(start))
 	writeJSON(w, http.StatusOK, rep)
 }
 
@@ -437,9 +782,8 @@ type LintResponse struct {
 // inspection: it does not mutate the session or disturb the incremental
 // analysis state, so it can be polled between mutations.
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(r.PathValue("id"))
+	e, ok := s.fetch(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
 	diags := e.sess.Lint()
@@ -475,6 +819,16 @@ type VerifyResponse struct {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if !s.available(w, false) {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+
 	var req VerifyRequest
 	if !decodeOptionalBody(w, r, &req) {
 		return
@@ -521,9 +875,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		resp.Reports = append(resp.Reports, rep)
 		resp.Holds = resp.Holds && rep.Holds
 	}
+	s.verifyLat.observe(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": s.SessionCount()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"sessions":   s.SessionCount(),
+		"recovering": s.recovering.Load(),
+	})
 }

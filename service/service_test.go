@@ -274,8 +274,17 @@ func TestLRUEviction(t *testing.T) {
 	if srv.SessionCount() != 2 {
 		t.Fatalf("sessions = %d, want 2", srv.SessionCount())
 	}
-	if code, _ := call(t, h, "GET", "/v1/sessions/s2", nil); code != http.StatusNotFound {
+	// Eviction is no longer silent: the id answers 410 Gone with a
+	// tombstone, and the list response carries the eviction history.
+	code, body := call(t, h, "GET", "/v1/sessions/s2", nil)
+	if code != http.StatusGone {
 		t.Errorf("s2 should have been evicted (code %d)", code)
+	}
+	if !strings.Contains(body, `"evicted"`) || !strings.Contains(body, `"tombstone"`) {
+		t.Errorf("evicted get should carry a tombstone, got %s", body)
+	}
+	if code, body := call(t, h, "GET", "/v1/sessions", nil); code != http.StatusOK || !strings.Contains(body, `"evicted"`) {
+		t.Errorf("list should report evicted sessions: %d %s", code, body)
 	}
 	for _, id := range []string{"s1", "s3"} {
 		if code, _ := call(t, h, "GET", "/v1/sessions/"+id, nil); code != http.StatusOK {

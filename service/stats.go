@@ -1,0 +1,172 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"blazes/internal/journal"
+)
+
+// Observability: GET /v1/stats reports everything needed to reason about
+// the server under load — session population, journal lag, admission
+// queue depth and shed counts, and latency percentiles per expensive
+// endpoint — with plain atomic counters so the endpoint itself stays cheap
+// enough to poll during overload.
+
+// latBucketBounds are the histogram bucket upper bounds in microseconds
+// (1-2-5 decades from 1µs to 100s); the final implicit bucket is
+// unbounded. Fixed log-spaced buckets keep recording lock-free and
+// percentile estimation deterministic.
+var latBucketBounds = [...]uint64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000, 10_000_000, 20_000_000, 50_000_000, 100_000_000,
+}
+
+// latencyHist is a lock-free fixed-bucket latency histogram.
+type latencyHist struct {
+	buckets [len(latBucketBounds) + 1]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // microseconds
+	max     atomic.Uint64 // microseconds
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := 0
+	for i < len(latBucketBounds) && us > latBucketBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// quantile estimates the q-quantile (0 < q < 1) in microseconds by linear
+// interpolation inside the holding bucket.
+func (h *latencyHist) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := uint64(0)
+			if i > 0 {
+				lo = latBucketBounds[i-1]
+			}
+			hi := h.max.Load()
+			if i < len(latBucketBounds) && latBucketBounds[i] < hi {
+				hi = latBucketBounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / n
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.max.Load()
+}
+
+// LatencySummary is one endpoint's latency section, microsecond units.
+type LatencySummary struct {
+	Count    uint64 `json:"count"`
+	MeanUs   uint64 `json:"mean_us"`
+	P50Us    uint64 `json:"p50_us"`
+	P95Us    uint64 `json:"p95_us"`
+	P99Us    uint64 `json:"p99_us"`
+	MaxUs    uint64 `json:"max_us"`
+	TotalSec uint64 `json:"total_sec"`
+}
+
+func (h *latencyHist) summary() LatencySummary {
+	count := h.count.Load()
+	sum := h.sum.Load()
+	out := LatencySummary{
+		Count:    count,
+		P50Us:    h.quantile(0.50),
+		P95Us:    h.quantile(0.95),
+		P99Us:    h.quantile(0.99),
+		MaxUs:    h.max.Load(),
+		TotalSec: sum / 1_000_000,
+	}
+	if count > 0 {
+		out.MeanUs = sum / count
+	}
+	return out
+}
+
+// StatsResponse is the /v1/stats document.
+type StatsResponse struct {
+	// Sessions is the live session count; Evicted the retained tombstone
+	// count and EvictedTotal the all-time LRU evictions this process.
+	Sessions     int    `json:"sessions"`
+	MaxSessions  int    `json:"max_sessions"`
+	Evicted      int    `json:"evicted"`
+	EvictedTotal uint64 `json:"evicted_total"`
+
+	// Durable is true when a journal backs the server. Recovering is true
+	// while the boot replay is still rebuilding sessions (writes shed with
+	// 503); RecoveredSessions counts sessions rebuilt so far this boot and
+	// ReplayErrors sessions the journal acknowledged but could not be
+	// rebuilt. JournalBroken means an append failed and the server
+	// poisoned itself read-only.
+	Durable           bool           `json:"durable"`
+	Recovering        bool           `json:"recovering"`
+	RecoveredSessions int64          `json:"recovered_sessions"`
+	ReplayErrors      int64          `json:"replay_errors,omitempty"`
+	JournalBroken     bool           `json:"journal_broken,omitempty"`
+	Journal           *journal.Stats `json:"journal,omitempty"`
+
+	Admission AdmissionStats `json:"admission"`
+
+	// Latency maps endpoint → summary for the gated endpoints.
+	Latency map[string]LatencySummary `json:"latency"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := len(s.byID)
+	tombs := len(s.tombstones)
+	s.mu.Unlock()
+
+	resp := StatsResponse{
+		Sessions:          sessions,
+		MaxSessions:       s.max,
+		Evicted:           tombs,
+		EvictedTotal:      s.evictedTotal.Load(),
+		Durable:           s.jrn != nil,
+		Recovering:        s.recovering.Load(),
+		RecoveredSessions: s.recoveredCount.Load(),
+		ReplayErrors:      s.replayErrors.Load(),
+		JournalBroken:     s.journalBroken.Load(),
+		Admission:         s.gate.stats(),
+		Latency: map[string]LatencySummary{
+			"create":  s.createLat.summary(),
+			"mutate":  s.mutateLat.summary(),
+			"analyze": s.analyzeLat.summary(),
+			"verify":  s.verifyLat.summary(),
+		},
+	}
+	resp.Admission.ReadOnlyRejected = s.readOnlyRejected.Load()
+	if s.jrn != nil {
+		st := s.jrn.Stats()
+		resp.Journal = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
