@@ -8,7 +8,9 @@ package blazes
 
 import (
 	"context"
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"blazes/internal/adtrack"
@@ -19,6 +21,7 @@ import (
 	"blazes/internal/sim"
 	"blazes/internal/storm"
 	"blazes/internal/wc"
+	"blazes/topogen"
 )
 
 // reportFlipAnns are the two Report-component annotations the session
@@ -308,6 +311,100 @@ func BenchmarkBloomTick(b *testing.B) {
 		}
 		if _, err := n.Tick(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// scaleBenchGraph builds the scale-bench topology through the public
+// pipeline (generate → parse → graph): 10k components by default, 1k under
+// BLAZES_BENCH_QUICK=1 for scripts/bench.sh -quick (those numbers are a
+// smoke signal, not comparable to the baseline).
+func scaleBenchGraph(b *testing.B) *Graph {
+	b.Helper()
+	n := 10_000
+	if os.Getenv("BLAZES_BENCH_QUICK") != "" {
+		n = 1000
+	}
+	res, err := topogen.Generate(topogen.Default(n, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := ParseSpec(res.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Graph(fmt.Sprintf("bench-scale-%d", n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAnalyze10k measures one-shot whole-graph analysis of a generated
+// 10k-component topology (layered DAG, cyclic supernodes, default
+// annotation mix) — the headline number for DESIGN.md's Scale section.
+func BenchmarkAnalyze10k(b *testing.B) {
+	g := scaleBenchGraph(b)
+	analyzer := NewAnalyzer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analyzer.Analyze(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scaleFlipTarget picks the flip component for the incremental benchmark:
+// the last (highest-named) component touching no cycle stream, so the flip
+// never lands inside a supernode and the structural caches survive every
+// iteration.
+func scaleFlipTarget(b *testing.B, g *Graph) string {
+	b.Helper()
+	cyclic := map[string]bool{}
+	for _, st := range g.Streams() {
+		if strings.HasPrefix(st.Name, "cf") || strings.HasPrefix(st.Name, "cb") || strings.HasPrefix(st.Name, "gossip") {
+			cyclic[st.FromComp] = true
+			cyclic[st.ToComp] = true
+		}
+	}
+	var target string
+	for _, c := range g.Components() {
+		if !cyclic[c.Name] && c.Name > target {
+			target = c.Name
+		}
+	}
+	if target == "" {
+		b.Fatal("no acyclic component to flip")
+	}
+	return target
+}
+
+// BenchmarkSessionReanalyze10k measures the incremental path at scale: a
+// session over the same 10k topology, flipping one leaf component's
+// annotation per iteration. Every pass must come from the incremental
+// engine (Rebuilt=false) — otherwise the benchmark has silently degraded
+// to whole-graph work.
+func BenchmarkSessionReanalyze10k(b *testing.B) {
+	s, err := OpenSession(scaleBenchGraph(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := scaleFlipTarget(b, s.Graph())
+	ctx := context.Background()
+	if _, err := s.Analyze(ctx); err != nil {
+		b.Fatal(err)
+	}
+	flips := [2]Annotation{ORStar(), CW}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Annotate(target, "in", "out", flips[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Analyze(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if s.LastStats().Rebuilt {
+			b.Fatal("annotation flip rebuilt the structural caches")
 		}
 	}
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"blazes"
+	"blazes/topogen"
+)
+
+// runGen implements `blazes gen`: emit a seeded synthetic `.blazes` spec
+// (layered DAG, cyclic supernodes, mixed annotations — see blazes/topogen).
+// The output is deterministic for a given flag set, so generated specs can
+// be regenerated instead of checked in. By default the spec is validated
+// end-to-end (parse → graph → analyze) before it is written, so a gen
+// invocation never hands the user a broken file.
+func runGen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blazes gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		components = fs.Int("components", 100, "number of components")
+		seed       = fs.Int64("seed", 1, "generator seed (same seed, same spec)")
+		layers     = fs.Int("layers", 0, "DAG layers (0 picks ≈√components)")
+		fanin      = fs.Int("fanin", 3, "max inbound streams per component")
+		cycles     = fs.Float64("cycles", 0.10, "fraction of components on cycles [0,1]")
+		rep        = fs.Float64("rep", 0.20, "fraction of replicated components [0,1]")
+		seal       = fs.Float64("seal", 0.15, "fraction of sealed streams [0,1]")
+		schema     = fs.Float64("schema", 0.30, "fraction of components declaring schemas [0,1]")
+		mix        = fs.String("mix", "", "annotation weights CR/CW/OR/OW (e.g. 40/25/20/15)")
+		out        = fs.String("o", "-", "output file (- for stdout)")
+		stats      = fs.Bool("stats", false, "print generation statistics as JSON to stderr")
+		noVerify   = fs.Bool("no-verify", false, "skip the parse+analyze self-check (faster for huge graphs)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: blazes gen [-components N] [-seed S] [-o file] [flags]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+exit codes:
+  0  spec generated (and verified, unless -no-verify)
+  1  generation or self-verification failed
+  2  usage error
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "blazes: gen takes no positional arguments (got %s)\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return exitUsage
+	}
+
+	cfg := topogen.Default(*components, *seed)
+	cfg.Layers = *layers
+	cfg.FanIn = *fanin
+	cfg.CycleDensity = *cycles
+	cfg.ReplicatedFraction = *rep
+	cfg.SealFraction = *seal
+	cfg.SchemaFraction = *schema
+	if *mix != "" {
+		var m topogen.AnnotationMix
+		if n, err := fmt.Sscanf(*mix, "%d/%d/%d/%d", &m.CR, &m.CW, &m.OR, &m.OW); n != 4 || err != nil {
+			fmt.Fprintf(stderr, "blazes: bad -mix %q (want CR/CW/OR/OW weights like 40/25/20/15)\n", *mix)
+			return exitUsage
+		}
+		cfg.Mix = m
+	}
+
+	res, err := topogen.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "blazes:", strings.TrimPrefix(err.Error(), "topogen: "))
+		return exitUsage
+	}
+
+	if !*noVerify {
+		spec, err := blazes.ParseSpec(res.Spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: generated spec failed to parse:", err)
+			return exitError
+		}
+		g, err := spec.Graph(fmt.Sprintf("gen-%d-s%d", *components, *seed))
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: generated spec failed to build:", err)
+			return exitError
+		}
+		if _, err := blazes.NewAnalyzer().Analyze(g); err != nil {
+			fmt.Fprintln(stderr, "blazes: generated graph failed to analyze:", err)
+			return exitError
+		}
+	}
+
+	if *stats {
+		data, err := json.Marshal(res.Stats)
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes:", err)
+			return exitError
+		}
+		fmt.Fprintln(stderr, string(data))
+	}
+
+	if *out == "-" {
+		if _, err := io.WriteString(stdout, res.Spec); err != nil {
+			fmt.Fprintln(stderr, "blazes:", err)
+			return exitError
+		}
+		return exitOK
+	}
+	if err := os.WriteFile(*out, []byte(res.Spec), 0o644); err != nil {
+		fmt.Fprintln(stderr, "blazes:", err)
+		return exitError
+	}
+	return exitOK
+}

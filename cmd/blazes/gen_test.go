@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The gen subcommand is driven in-process like the other flows. Generated
+// specs are not checked in as goldens — determinism is the contract, so
+// the tests regenerate and compare instead.
+
+func TestGenDeterministicAndAnalyzable(t *testing.T) {
+	args := []string{"gen", "-components", "80", "-seed", "12", "-stats"}
+	code, out1, stderr1 := exec(t, args...)
+	if code != exitOK {
+		t.Fatalf("gen: code %d, stderr %s", code, stderr1)
+	}
+	var st struct {
+		Components int `json:"components"`
+		Streams    int `json:"streams"`
+	}
+	if err := json.Unmarshal([]byte(stderr1), &st); err != nil {
+		t.Fatalf("-stats should emit JSON on stderr, got %q: %v", stderr1, err)
+	}
+	if st.Components != 80 || st.Streams == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	code, out2, _ := exec(t, args...)
+	if code != exitOK || out1 != out2 {
+		t.Fatal("same flags must regenerate byte-identical spec text")
+	}
+
+	// The emitted spec drives the normal analysis flow end to end.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gen.blazes")
+	if code, _, stderr := exec(t, "gen", "-components", "80", "-seed", "12", "-o", path); code != exitOK {
+		t.Fatalf("gen -o: code %d, stderr %s", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out1 {
+		t.Fatal("-o output differs from stdout output")
+	}
+	if code, stdout, stderr := exec(t, "-spec", path); code != exitOK || !strings.Contains(stdout, "verdict:") {
+		t.Fatalf("analyze generated spec: code %d, stdout %q, stderr %s", code, stdout, stderr)
+	}
+	if code, _, stderr := exec(t, "lint", path); code != exitOK {
+		t.Fatalf("lint generated spec should find no errors: code %d, stderr %s", code, stderr)
+	}
+}
+
+func TestGenSeedsDiffer(t *testing.T) {
+	_, a, _ := exec(t, "gen", "-components", "40", "-seed", "1")
+	_, b, _ := exec(t, "gen", "-components", "40", "-seed", "2")
+	if a == b {
+		t.Fatal("different seeds should generate different topologies")
+	}
+}
+
+func TestGenUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"gen", "-components", "0"},
+		{"gen", "-cycles", "1.5"},
+		{"gen", "-mix", "banana"},
+		{"gen", "positional"},
+	}
+	for _, args := range cases {
+		if code, _, _ := exec(t, args...); code != exitUsage {
+			t.Errorf("%v: code %d, want %d", args, code, exitUsage)
+		}
+	}
+}

@@ -10,6 +10,9 @@
 // subcommand runs the severity-ranked BLZnnn graph diagnostics (seal keys
 // missing from schemas, contradictory annotations, unreachable components,
 // unsealed nondeterministic cycles — see DESIGN.md) over one or more specs.
+// The gen subcommand emits seeded synthetic `.blazes` specs at any scale
+// (layered DAGs, cyclic supernodes, mixed annotations — see blazes/topogen)
+// for stress, fuzz, and benchmark corpora.
 //
 // Usage:
 //
@@ -21,6 +24,7 @@
 //	blazes verify -json
 //	blazes serve -addr 127.0.0.1:8351
 //	blazes lint internal/spec/testdata/wordcount.blazes internal/spec/testdata/adreport.blazes
+//	blazes gen -components 10000 -seed 8 -o big.blazes
 //
 // Flags (analysis mode):
 //
@@ -91,6 +95,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return runServe(ctx, args[1:], stdout, stderr)
 		case "lint":
 			return runLint(args[1:], stdout, stderr)
+		case "gen":
+			return runGen(args[1:], stdout, stderr)
 		}
 	}
 	return runAnalyze(args, stdout, stderr)

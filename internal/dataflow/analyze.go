@@ -110,10 +110,13 @@ func Analyze(g *Graph) (*Analysis, error) {
 
 // outputTopoOrder returns the OUT interface nodes of the (acyclic) collapsed
 // graph in topological order using Kahn's algorithm over the interface
-// graph.
+// graph. The ready set is a min-heap ordered by less(), so each pop yields
+// the lexicographically least ready node — the same order the previous
+// implementation produced by re-sorting a slice on every push, but in
+// O(E log V) instead of O(V·E log E).
 func outputTopoOrder(g *Graph) []ifaceNode {
 	ig := buildIfaceGraph(g)
-	indeg := map[ifaceNode]int{}
+	indeg := make(map[ifaceNode]int, len(ig.nodes))
 	for _, n := range ig.nodes {
 		indeg[n] += 0
 	}
@@ -122,29 +125,71 @@ func outputTopoOrder(g *Graph) []ifaceNode {
 			indeg[w]++
 		}
 	}
-	var queue []ifaceNode
+	heap := make(ifaceHeap, 0, len(ig.nodes))
 	for _, n := range ig.nodes {
 		if indeg[n] == 0 {
-			queue = append(queue, n)
+			heap.push(n)
 		}
 	}
-	sort.Slice(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
-	var outs []ifaceNode
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	outs := make([]ifaceNode, 0, len(ig.nodes)/2+1)
+	for len(heap) > 0 {
+		v := heap.pop()
 		if v.out {
 			outs = append(outs, v)
 		}
 		for _, w := range ig.adj[v] {
 			indeg[w]--
 			if indeg[w] == 0 {
-				queue = append(queue, w)
+				heap.push(w)
 			}
 		}
-		sort.Slice(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
 	}
 	return outs
+}
+
+// ifaceHeap is a binary min-heap of interface nodes ordered by less().
+// Hand-rolled (rather than container/heap) to keep the hot path free of
+// interface boxing and per-op allocations.
+type ifaceHeap []ifaceNode
+
+func (h *ifaceHeap) push(n ifaceNode) {
+	*h = append(*h, n)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *ifaceHeap) pop() ifaceNode {
+	s := *h
+	min := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(s) && less(s[left], s[smallest]) {
+			smallest = left
+		}
+		if right < len(s) && less(s[right], s[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return min
 }
 
 // deriveOutput performs the derivation for one output interface: inference

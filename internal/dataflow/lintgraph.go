@@ -98,18 +98,58 @@ func (d LintDiagnostic) String() string {
 	return fmt.Sprintf("%s %s %s: %s", d.Severity, d.Code, d.Subject, d.Message)
 }
 
+// lintContext is the structure every lint pass shares: the sorted component
+// list, the per-interface stream index, and component-level adjacency —
+// built exactly once per LintGraph call. Before it existed each pass
+// rebuilt its own view (and the inner loops re-scanned the whole stream
+// list), which made linting quadratic on 10k-component graphs.
+type lintContext struct {
+	comps    []*Component
+	index    map[string]int // component name → position in comps
+	idx      *streamIndex
+	adj      [][]int // comp-level edges over internal streams
+	selfLoop []bool
+}
+
+func newLintContext(g *Graph) *lintContext {
+	comps := g.Components()
+	index := make(map[string]int, len(comps))
+	for i, c := range comps {
+		index[c.Name] = i
+	}
+	lc := &lintContext{
+		comps:    comps,
+		index:    index,
+		idx:      indexStreams(g),
+		adj:      make([][]int, len(comps)),
+		selfLoop: make([]bool, len(comps)),
+	}
+	for _, s := range g.Streams() {
+		if s.IsSource() || s.IsSink() {
+			continue
+		}
+		f, t := index[s.FromComp], index[s.ToComp]
+		lc.adj[f] = append(lc.adj[f], t)
+		if f == t {
+			lc.selfLoop[f] = true
+		}
+	}
+	return lc
+}
+
 // LintGraph runs every graph diagnostic over g and returns the findings
 // sorted errors-first, then by code, subject and message, so output is
 // deterministic. The graph should already pass Validate — structurally
 // broken graphs produce undefined (but non-panicking) lint results.
 func LintGraph(g *Graph) []LintDiagnostic {
+	lc := newLintContext(g)
 	var diags []LintDiagnostic
 	diags = append(diags, lintSealSchemas(g)...)
-	diags = append(diags, lintGateSchemas(g)...)
-	diags = append(diags, lintReachability(g)...)
-	diags = append(diags, lintAnnotations(g)...)
+	diags = append(diags, lintGateSchemas(lc)...)
+	diags = append(diags, lintReachability(g, lc)...)
+	diags = append(diags, lintAnnotations(lc)...)
 	diags = append(diags, lintSealCompatibility(g)...)
-	diags = append(diags, lintUnsealedCycles(g)...)
+	diags = append(diags, lintUnsealedCycles(g, lc)...)
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Severity != b.Severity {
@@ -162,19 +202,23 @@ func lintSealSchemas(g *Graph) []LintDiagnostic {
 // feeding producer's schema does not carry. The gate partitions input
 // records; gating on an attribute the records lack degenerates to one
 // partition per record, which is OR*/OW* in disguise.
-func lintGateSchemas(g *Graph) []LintDiagnostic {
+func lintGateSchemas(lc *lintContext) []LintDiagnostic {
 	var diags []LintDiagnostic
-	for _, c := range g.Components() {
+	for _, c := range lc.comps {
 		for _, p := range c.Paths {
 			if p.Ann.Confluent || p.Ann.GateStar || p.Ann.Gate.IsEmpty() {
 				continue
 			}
-			for _, s := range g.StreamsInto(c.Name, p.From) {
+			for _, s := range lc.idx.into[[2]string{c.Name, p.From}] {
 				if s.IsSource() {
 					continue
 				}
-				producer := g.Lookup(s.FromComp)
-				if producer == nil || producer.OutSchema == nil {
+				i, ok := lc.index[s.FromComp]
+				if !ok {
+					continue
+				}
+				producer := lc.comps[i]
+				if producer.OutSchema == nil {
 					continue
 				}
 				schema, ok := producer.OutSchema[s.FromIface]
@@ -201,13 +245,15 @@ func lintGateSchemas(g *Graph) []LintDiagnostic {
 // silently contribute nothing to the analysis — usually a mis-wired stream.
 // Graphs with no sources at all are skipped: nothing is reachable by
 // definition, and Validate-level concerns apply instead.
-func lintReachability(g *Graph) []LintDiagnostic {
-	seen := map[string]bool{}
-	var frontier []string
+func lintReachability(g *Graph, lc *lintContext) []LintDiagnostic {
+	seen := make([]bool, len(lc.comps))
+	var frontier []int
 	for _, s := range g.Streams() {
-		if s.IsSource() && !s.IsSink() && !seen[s.ToComp] {
-			seen[s.ToComp] = true
-			frontier = append(frontier, s.ToComp)
+		if s.IsSource() && !s.IsSink() {
+			if i, ok := lc.index[s.ToComp]; ok && !seen[i] {
+				seen[i] = true
+				frontier = append(frontier, i)
+			}
 		}
 	}
 	if len(frontier) == 0 {
@@ -216,16 +262,16 @@ func lintReachability(g *Graph) []LintDiagnostic {
 	for len(frontier) > 0 {
 		comp := frontier[0]
 		frontier = frontier[1:]
-		for _, s := range g.Streams() {
-			if s.FromComp == comp && !s.IsSink() && !seen[s.ToComp] {
-				seen[s.ToComp] = true
-				frontier = append(frontier, s.ToComp)
+		for _, w := range lc.adj[comp] {
+			if !seen[w] {
+				seen[w] = true
+				frontier = append(frontier, w)
 			}
 		}
 	}
 	var diags []LintDiagnostic
-	for _, c := range g.Components() {
-		if !seen[c.Name] {
+	for i, c := range lc.comps {
+		if !seen[i] {
 			diags = append(diags, LintDiagnostic{
 				Code:     CodeUnreachable,
 				Severity: SeverityWarning,
@@ -245,9 +291,9 @@ func lintReachability(g *Graph) []LintDiagnostic {
 // partitioning but names no partition attributes. Spec-built graphs cannot
 // produce the latter (ParseAnnotation defaults to *), but builder-built
 // graphs can.
-func lintAnnotations(g *Graph) []LintDiagnostic {
+func lintAnnotations(lc *lintContext) []LintDiagnostic {
 	var diags []LintDiagnostic
-	for _, c := range g.Components() {
+	for _, c := range lc.comps {
 		kind := map[[2]string]core.Annotation{}
 		flagged := map[[2]string]bool{}
 		for _, p := range c.Paths {
@@ -317,58 +363,50 @@ func lintSealCompatibility(g *Graph) []LintDiagnostic {
 // coordination applied to any member. Divergent replica state can feed back
 // around such a cycle and amplify instead of washing out — the divergence
 // risk the paper's case studies coordinate away.
-func lintUnsealedCycles(g *Graph) []LintDiagnostic {
-	comps := g.Components()
-	index := map[string]int{}
-	for i, c := range comps {
-		index[c.Name] = i
+func lintUnsealedCycles(g *Graph, lc *lintContext) []LintDiagnostic {
+	groups := stronglyConnected(lc.adj)
+	groupID := make([]int, len(lc.comps))
+	for gid, group := range groups {
+		for _, i := range group {
+			groupID[i] = gid
+		}
 	}
-	adj := make([][]int, len(comps))
+	// One pass over the streams marks which groups contain a sealed
+	// internal edge, instead of rescanning the stream list per group.
+	groupSealed := make([]bool, len(groups))
 	for _, s := range g.Streams() {
-		if s.IsSource() || s.IsSink() {
+		if s.IsSource() || s.IsSink() || s.Seal.IsEmpty() {
 			continue
 		}
-		adj[index[s.FromComp]] = append(adj[index[s.FromComp]], index[s.ToComp])
+		f, t := lc.index[s.FromComp], lc.index[s.ToComp]
+		if groupID[f] == groupID[t] {
+			groupSealed[groupID[f]] = true
+		}
 	}
-	groups := stronglyConnected(adj)
 
 	var diags []LintDiagnostic
-	for _, group := range groups {
-		members := map[string]bool{}
-		for _, i := range group {
-			members[comps[i].Name] = true
-		}
-		if len(group) == 1 && !hasSelfLoop(g, comps[group[0]].Name) {
+	for gid, group := range groups {
+		if len(group) == 1 && !lc.selfLoop[group[0]] {
 			continue
 		}
 		orderSensitive := false
 		coordinated := false
 		for _, i := range group {
-			for _, p := range comps[i].Paths {
+			for _, p := range lc.comps[i].Paths {
 				if p.Ann.OrderSensitive() {
 					orderSensitive = true
 				}
 			}
-			if comps[i].Coordination != CoordNone {
+			if lc.comps[i].Coordination != CoordNone {
 				coordinated = true
 			}
 		}
-		if !orderSensitive || coordinated {
+		if !orderSensitive || coordinated || groupSealed[gid] {
 			continue
 		}
-		sealed := false
-		for _, s := range g.Streams() {
-			if !s.IsSource() && !s.IsSink() && members[s.FromComp] && members[s.ToComp] && !s.Seal.IsEmpty() {
-				sealed = true
-				break
-			}
-		}
-		if sealed {
-			continue
-		}
-		names := make([]string, 0, len(members))
-		for n := range members {
-			names = append(names, n)
+		names := make([]string, 0, len(group))
+		for _, i := range group {
+			names = append(names, lc.comps[i].Name)
 		}
 		sort.Strings(names)
 		diags = append(diags, LintDiagnostic{
@@ -380,15 +418,6 @@ func lintUnsealedCycles(g *Graph) []LintDiagnostic {
 		})
 	}
 	return diags
-}
-
-func hasSelfLoop(g *Graph, comp string) bool {
-	for _, s := range g.Streams() {
-		if s.FromComp == comp && s.ToComp == comp {
-			return true
-		}
-	}
-	return false
 }
 
 func joinNames(names []string) string {

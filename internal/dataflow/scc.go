@@ -260,6 +260,8 @@ func collapseSCCs(g *Graph) *Graph {
 		}
 	}
 
+	ioByGroup := groupBoundaries(g, superOf)
+
 	ng := NewGraph(g.Name)
 
 	// Copy components that are not merged into a supernode; upgrade their
@@ -307,14 +309,10 @@ func collapseSCCs(g *Graph) *Graph {
 		if deps.Len() > 0 {
 			super.Deps = deps
 		}
-		inGroup := map[string]bool{}
-		for _, m := range members {
-			inGroup[m] = true
-		}
-		extIns, extOuts := groupBoundary(g, inGroup)
-		reach := groupReachability(g, inGroup)
-		for _, in := range extIns {
-			for _, out := range extOuts {
+		io := ioByGroup[name]
+		reach := groupReachability(g, members, io.internal)
+		for _, in := range io.ins {
+			for _, out := range io.outs {
 				if reach[[2]ifaceNode{in, out}] {
 					super.AddPath(in.comp+"."+in.iface, out.comp+"."+out.iface, ann)
 				}
@@ -322,7 +320,7 @@ func collapseSCCs(g *Graph) *Graph {
 		}
 		if len(super.Paths) == 0 {
 			// Degenerate sink cycle: expose state so validation passes.
-			for _, in := range extIns {
+			for _, in := range io.ins {
 				super.AddPath(in.comp+"."+in.iface, "state", ann)
 			}
 		}
@@ -389,72 +387,99 @@ func maxAnnotation(a, b core.Annotation) core.Annotation {
 	return a
 }
 
-// groupBoundary finds the group's external input and output interfaces: IN
-// nodes fed from outside the group (or sources, or unconnected) and OUT
-// nodes feeding outside the group (or sinks).
-func groupBoundary(g *Graph, inGroup map[string]bool) (ins, outs []ifaceNode) {
+// groupIO is one supernode group's stream classification: external input
+// and output interfaces plus the OUT→IN stream edges internal to the group.
+type groupIO struct {
+	ins, outs []ifaceNode
+	internal  [][2]ifaceNode
+}
+
+// groupBoundaries classifies every stream exactly once against all
+// multi-component groups (superOf maps member component → supernode name),
+// returning each group's external inputs — IN nodes fed by sources, fed
+// from outside the group, or fed by nothing at all — external outputs, and
+// internal edges. A single pass over the stream list replaces the previous
+// per-group rescans, which were quadratic in the number of supernodes.
+func groupBoundaries(g *Graph, superOf map[string]string) map[string]*groupIO {
+	res := map[string]*groupIO{}
+	at := func(comp string) *groupIO {
+		name := superOf[comp]
+		if name == "" {
+			return nil
+		}
+		io := res[name]
+		if io == nil {
+			io = &groupIO{}
+			res[name] = io
+		}
+		return io
+	}
+	// Interface nodes belong to exactly one group, so global dedupe maps
+	// are safe across groups.
 	insSeen := map[ifaceNode]bool{}
 	outsSeen := map[ifaceNode]bool{}
 	fedFromInside := map[ifaceNode]bool{}
-	feedsInside := map[ifaceNode]bool{}
 	for _, s := range g.Streams() {
-		if !s.IsSink() && inGroup[s.ToComp] {
-			n := ifaceNode{s.ToComp, s.ToIface, false}
-			if s.IsSource() || !inGroup[s.FromComp] {
-				insSeen[n] = true
-			} else {
-				fedFromInside[n] = true
+		sameGroup := !s.IsSource() && !s.IsSink() &&
+			superOf[s.FromComp] != "" && superOf[s.FromComp] == superOf[s.ToComp]
+		if !s.IsSink() {
+			if io := at(s.ToComp); io != nil {
+				n := ifaceNode{s.ToComp, s.ToIface, false}
+				if sameGroup {
+					fedFromInside[n] = true
+				} else if !insSeen[n] {
+					insSeen[n] = true
+					io.ins = append(io.ins, n)
+				}
 			}
 		}
-		if !s.IsSource() && inGroup[s.FromComp] {
-			n := ifaceNode{s.FromComp, s.FromIface, true}
-			if s.IsSink() || !inGroup[s.ToComp] {
-				outsSeen[n] = true
-			} else {
-				feedsInside[n] = true
+		if !s.IsSource() {
+			if io := at(s.FromComp); io != nil {
+				n := ifaceNode{s.FromComp, s.FromIface, true}
+				if sameGroup {
+					io.internal = append(io.internal, [2]ifaceNode{n, {s.ToComp, s.ToIface, false}})
+				} else if !outsSeen[n] {
+					outsSeen[n] = true
+					io.outs = append(io.outs, n)
+				}
 			}
 		}
 	}
-	// Unconnected member inputs are external too.
-	//lint:allow maporder read-only graph queries feeding per-key map inserts
-	for comp := range inGroup {
-		c := g.Lookup(comp)
-		for _, iface := range c.Inputs() {
+	// Member inputs fed by nothing (every incoming stream marks the node
+	// in insSeen or fedFromInside) are external too.
+	//lint:allow maporder appends are re-sorted below before use
+	for comp := range superOf {
+		for _, iface := range g.Lookup(comp).Inputs() {
 			n := ifaceNode{comp, iface, false}
-			if !insSeen[n] && !fedFromInside[n] && len(g.StreamsInto(comp, iface)) == 0 {
+			if !insSeen[n] && !fedFromInside[n] {
+				io := at(comp)
 				insSeen[n] = true
+				io.ins = append(io.ins, n)
 			}
 		}
 	}
-	for n := range insSeen {
-		ins = append(ins, n)
+	//lint:allow maporder sorts each group's lists in place; the lists are disjoint per group
+	for _, io := range res {
+		sort.Slice(io.ins, func(i, j int) bool { return less(io.ins[i], io.ins[j]) })
+		sort.Slice(io.outs, func(i, j int) bool { return less(io.outs[i], io.outs[j]) })
 	}
-	for n := range outsSeen {
-		outs = append(outs, n)
-	}
-	sort.Slice(ins, func(i, j int) bool { return less(ins[i], ins[j]) })
-	sort.Slice(outs, func(i, j int) bool { return less(outs[i], outs[j]) })
-	return ins, outs
+	return res
 }
 
 // groupReachability computes (in, out) reachability through the group's
-// internal paths and streams.
-func groupReachability(g *Graph, inGroup map[string]bool) map[[2]ifaceNode]bool {
+// internal paths and the pre-classified internal stream edges.
+func groupReachability(g *Graph, members []string, internal [][2]ifaceNode) map[[2]ifaceNode]bool {
 	adj := map[ifaceNode][]ifaceNode{}
-	for comp := range inGroup {
+	for _, comp := range members {
 		for _, p := range g.Lookup(comp).Paths {
 			adj[ifaceNode{comp, p.From, false}] = append(adj[ifaceNode{comp, p.From, false}], ifaceNode{comp, p.To, true})
 		}
 	}
-	for _, s := range g.Streams() {
-		if s.IsSource() || s.IsSink() || !inGroup[s.FromComp] || !inGroup[s.ToComp] {
-			continue
-		}
-		a := ifaceNode{s.FromComp, s.FromIface, true}
-		adj[a] = append(adj[a], ifaceNode{s.ToComp, s.ToIface, false})
+	for _, e := range internal {
+		adj[e[0]] = append(adj[e[0]], e[1])
 	}
 	res := map[[2]ifaceNode]bool{}
-	for comp := range inGroup {
+	for _, comp := range members {
 		for _, iface := range g.Lookup(comp).Inputs() {
 			start := ifaceNode{comp, iface, false}
 			seen := map[ifaceNode]bool{start: true}

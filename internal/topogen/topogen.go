@@ -1,0 +1,528 @@
+// Package topogen generates large, realistic Blazes dataflow topologies as
+// `.blazes` spec text: layered DAGs with replicated fan-out/fan-in, cyclic
+// supernodes, mixed CR/CW/OR/OW annotations, and optional seal keys and
+// output schemas. Every knob is seeded — the same Config always produces
+// byte-identical spec text — so generated graphs can anchor benchmarks,
+// differential tests, and fuzz corpora the way the repo's 8 hand-built
+// workloads do, just three orders of magnitude bigger.
+//
+// The canonical output is spec text, not a graph object: parsing the
+// emitted spec through internal/spec is part of the contract (a generated
+// topology that fails to round-trip is a generator bug), and it keeps the
+// generator usable from the CLI, tests, and benches without exporting graph
+// internals.
+//
+// Generated graphs are lint-error-free by construction: declared schemas
+// are supersets of every gate and seal key drawn (BLZ001/BLZ002), and each
+// (from, to) pair carries exactly one annotation (BLZ004). Warnings —
+// unsealed cycles, incompatible seals — are allowed and realistic.
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"blazes/internal/dataflow"
+	"blazes/internal/spec"
+)
+
+// attrPool is the closed attribute vocabulary gates, seals, and schemas
+// draw from. Declared schemas use the full pool, which is what guarantees
+// the subset obligations of BLZ001/BLZ002 hold for any drawn gate or seal.
+var attrPool = []string{"key", "batch", "id", "window", "region", "epoch"}
+
+// AnnotationMix weights the four Blazes annotation classes when a path's
+// annotation is drawn. Zero values fall back to DefaultMix.
+type AnnotationMix struct {
+	CR, CW, OR, OW int
+}
+
+// DefaultMix skews confluent: most real dataflow operators are maps and
+// filters, with a minority of order-sensitive aggregates and writes.
+var DefaultMix = AnnotationMix{CR: 40, CW: 25, OR: 20, OW: 15}
+
+func (m AnnotationMix) total() int { return m.CR + m.CW + m.OR + m.OW }
+
+// Config parameterizes one generated topology. The zero value is invalid;
+// use Default() or fill Components and leave the rest to Normalize.
+type Config struct {
+	// Seed drives every random draw. Equal configs ⇒ byte-identical spec.
+	Seed int64
+	// Components is the total component count (≥ 1).
+	Components int
+	// Layers is the number of DAG ranks. 0 picks ≈√Components, giving
+	// roughly square topologies whose longest path (and hence SCC
+	// recursion depth) grows as √n.
+	Layers int
+	// FanIn caps the inbound streams drawn per non-first-layer component
+	// (each draws 1..FanIn producers from the previous layer). 0 ⇒ 3.
+	FanIn int
+	// CycleDensity is the approximate fraction of components participating
+	// in cycles: pair back-edges across adjacent layers (collapsed into
+	// two-component supernodes) plus gossip self-loops.
+	CycleDensity float64
+	// ReplicatedFraction marks components Rep: true (their outbound
+	// streams are then replicated with probability ½).
+	ReplicatedFraction float64
+	// SealFraction seals source streams (and internal streams at half the
+	// rate) with a key drawn from the attribute pool.
+	SealFraction float64
+	// SchemaFraction declares an output schema on components (the full
+	// attribute pool, keeping every gate and seal key in-schema).
+	SchemaFraction float64
+	// ExtraInputFraction gives components a second input interface (`ctl`)
+	// with its own annotated path, exercising multi-path reconciliation.
+	ExtraInputFraction float64
+	// Mix weights the annotation classes. Zero total ⇒ DefaultMix.
+	Mix AnnotationMix
+}
+
+// Default returns the reference configuration at the given size and seed:
+// √n layers, fan-in 3, 10% cyclic, 20% replicated, 15% sealed, 30%
+// schema-declared, 20% dual-input, DefaultMix annotations.
+func Default(components int, seed int64) Config {
+	return Config{
+		Seed:               seed,
+		Components:         components,
+		FanIn:              3,
+		CycleDensity:       0.10,
+		ReplicatedFraction: 0.20,
+		SealFraction:       0.15,
+		SchemaFraction:     0.30,
+		ExtraInputFraction: 0.20,
+	}
+}
+
+// Normalize fills defaulted fields and validates ranges.
+func (c Config) Normalize() (Config, error) {
+	if c.Components < 1 {
+		return c, fmt.Errorf("topogen: Components must be ≥ 1 (got %d)", c.Components)
+	}
+	if c.Layers == 0 {
+		c.Layers = int(math.Round(math.Sqrt(float64(c.Components))))
+	}
+	if c.Layers < 1 {
+		return c, fmt.Errorf("topogen: Layers must be ≥ 1 (got %d)", c.Layers)
+	}
+	if c.Layers > c.Components {
+		c.Layers = c.Components
+	}
+	if c.FanIn == 0 {
+		c.FanIn = 3
+	}
+	if c.FanIn < 1 {
+		return c, fmt.Errorf("topogen: FanIn must be ≥ 1 (got %d)", c.FanIn)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CycleDensity", c.CycleDensity},
+		{"ReplicatedFraction", c.ReplicatedFraction},
+		{"SealFraction", c.SealFraction},
+		{"SchemaFraction", c.SchemaFraction},
+		{"ExtraInputFraction", c.ExtraInputFraction},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return c, fmt.Errorf("topogen: %s must be in [0,1] (got %g)", f.name, f.v)
+		}
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix
+	}
+	if c.Mix.CR < 0 || c.Mix.CW < 0 || c.Mix.OR < 0 || c.Mix.OW < 0 {
+		return c, fmt.Errorf("topogen: annotation mix weights must be ≥ 0 (got %+v)", c.Mix)
+	}
+	return c, nil
+}
+
+// Stats summarizes one generated topology.
+type Stats struct {
+	Components int `json:"components"`
+	Streams    int `json:"streams"` // internal edges, excluding sources/sinks
+	Sources    int `json:"sources"`
+	Sinks      int `json:"sinks"`
+	Layers     int `json:"layers"`
+	CyclePairs int `json:"cycle_pairs"`
+	SelfLoops  int `json:"self_loops"`
+	Replicated int `json:"replicated"`
+	Sealed     int `json:"sealed"`
+	Schemas    int `json:"schemas"`
+	CR         int `json:"cr"`
+	CW         int `json:"cw"`
+	OR         int `json:"or"`
+	OW         int `json:"ow"`
+}
+
+// Result is one generated topology: the spec text plus its summary.
+type Result struct {
+	Config Config
+	Spec   string
+	Stats  Stats
+}
+
+// Graph parses the generated spec and builds the dataflow graph — the same
+// path `blazes.ParseSpec(...).Graph()` takes, so calling it is already a
+// round-trip check on the generator's output.
+func (r Result) Graph() (*dataflow.Graph, error) {
+	cfg, err := spec.Parse(r.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("topogen: generated spec failed to parse: %w", err)
+	}
+	return cfg.Graph(specName(r.Config), spec.BuildOptions{})
+}
+
+func specName(c Config) string {
+	return fmt.Sprintf("topogen-%d-s%d", c.Components, c.Seed)
+}
+
+// internal build model, rendered to spec text at the end.
+
+type genPath struct {
+	from, to  string
+	label     string   // "CR" | "CW" | "OR" | "OW" | "OR*" | "OW*"
+	subscript []string // nil for confluent and starred labels
+}
+
+type genComp struct {
+	name   string
+	layer  int
+	rep    bool
+	paths  []genPath
+	schema []string // attrs for the "out" interface; nil = undeclared
+	outDeg int
+}
+
+type genStream struct {
+	name     string
+	from, to string // "Comp.iface"; "" for source/sink ends
+	seal     []string
+	rep      bool
+}
+
+// Generate produces one topology from the (normalized) config.
+func Generate(cfg Config) (Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, rng: rng}
+	g.buildComponents()
+	g.wire()
+	g.addCycles()
+	g.addSinks()
+	res := Result{Config: cfg, Spec: g.render(), Stats: g.stats}
+	res.Stats.Components = len(g.comps)
+	res.Stats.Layers = cfg.Layers
+	return res, nil
+}
+
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	comps   []*genComp
+	byLayer [][]*genComp
+	sources []genStream
+	streams []genStream
+	sinks   []genStream
+	inCycle map[string]bool
+	stats   Stats
+}
+
+func (g *generator) compName(i int) string { return fmt.Sprintf("N%06d", i+1) }
+
+// drawLabel picks an annotation class by mix weight and, for the
+// order-sensitive classes, either the * form or a 1–2 attribute gate drawn
+// from the pool (emitted in pool order, so gates render deterministically).
+func (g *generator) drawLabel() genPath {
+	m, p := g.cfg.Mix, genPath{}
+	r := g.rng.Intn(m.total())
+	switch {
+	case r < m.CR:
+		p.label = "CR"
+		g.stats.CR++
+	case r < m.CR+m.CW:
+		p.label = "CW"
+		g.stats.CW++
+	case r < m.CR+m.CW+m.OR:
+		p.label = "OR"
+		g.stats.OR++
+	default:
+		p.label = "OW"
+		g.stats.OW++
+	}
+	if p.label == "OR" || p.label == "OW" {
+		if g.rng.Float64() < 0.3 {
+			p.label += "*"
+		} else {
+			p.subscript = g.drawAttrs(1 + g.rng.Intn(2))
+		}
+	}
+	return p
+}
+
+// drawAttrs picks n distinct attributes, returned in pool order.
+func (g *generator) drawAttrs(n int) []string {
+	picked := make([]bool, len(attrPool))
+	for c := 0; c < n; c++ {
+		picked[g.rng.Intn(len(attrPool))] = true
+	}
+	var out []string
+	for i, ok := range picked {
+		if ok {
+			out = append(out, attrPool[i])
+		}
+	}
+	return out
+}
+
+func (g *generator) buildComponents() {
+	n, layers := g.cfg.Components, g.cfg.Layers
+	g.byLayer = make([][]*genComp, layers)
+	idx := 0
+	for l := 0; l < layers; l++ {
+		width := n / layers
+		if l < n%layers {
+			width++
+		}
+		for w := 0; w < width; w++ {
+			c := &genComp{name: g.compName(idx), layer: l}
+			idx++
+			c.rep = g.rng.Float64() < g.cfg.ReplicatedFraction
+			if c.rep {
+				g.stats.Replicated++
+			}
+			in := g.drawLabel()
+			in.from, in.to = "in", "out"
+			c.paths = append(c.paths, in)
+			if g.rng.Float64() < g.cfg.ExtraInputFraction {
+				ctl := g.drawLabel()
+				ctl.from, ctl.to = "ctl", "out"
+				c.paths = append(c.paths, ctl)
+			}
+			if g.rng.Float64() < g.cfg.SchemaFraction {
+				c.schema = attrPool
+				g.stats.Schemas++
+			}
+			g.comps = append(g.comps, c)
+			g.byLayer[l] = append(g.byLayer[l], c)
+		}
+	}
+}
+
+func (g *generator) drawSeal(rate float64) []string {
+	if g.rng.Float64() < rate {
+		g.stats.Sealed++
+		return g.drawAttrs(1)
+	}
+	return nil
+}
+
+// inputs lists a component's input interfaces in declaration order.
+func (c *genComp) inputs() []string {
+	seen := map[string]bool{}
+	var in []string
+	for _, p := range c.paths {
+		if !seen[p.from] {
+			seen[p.from] = true
+			in = append(in, p.from)
+		}
+	}
+	return in
+}
+
+// wire connects the layers: every first-layer input gets a source stream,
+// and every later-layer component draws 1..FanIn producers from the layer
+// above — at least one per input interface, so no input dangles.
+func (g *generator) wire() {
+	srcN, edgeN := 0, 0
+	for _, c := range g.byLayer[0] {
+		for _, iface := range c.inputs() {
+			srcN++
+			g.sources = append(g.sources, genStream{
+				name: fmt.Sprintf("src%06d", srcN),
+				to:   c.name + "." + iface,
+				seal: g.drawSeal(g.cfg.SealFraction),
+			})
+		}
+	}
+	for l := 1; l < g.cfg.Layers; l++ {
+		above := g.byLayer[l-1]
+		for _, c := range g.byLayer[l] {
+			ins := c.inputs()
+			k := 1 + g.rng.Intn(g.cfg.FanIn)
+			if k < len(ins) {
+				k = len(ins)
+			}
+			for e := 0; e < k; e++ {
+				prod := above[g.rng.Intn(len(above))]
+				iface := ins[0]
+				if e < len(ins) {
+					iface = ins[e] // one guaranteed feed per input
+				} else {
+					iface = ins[g.rng.Intn(len(ins))]
+				}
+				edgeN++
+				prod.outDeg++
+				g.streams = append(g.streams, genStream{
+					name: fmt.Sprintf("e%06d", edgeN),
+					from: prod.name + ".out",
+					to:   c.name + "." + iface,
+					seal: g.drawSeal(g.cfg.SealFraction / 2),
+					rep:  prod.rep && g.rng.Float64() < 0.5,
+				})
+			}
+		}
+	}
+	g.stats.Sources = srcN
+}
+
+// addCycles injects cyclic supernodes: pair back-edges between adjacent
+// layers (A.out→B.in already forward-reachable; add both directions
+// explicitly so the pair always collapses) and gossip self-loops. Members
+// are kept disjoint so each cycle collapses to a predictable 2- or
+// 1-component supernode rather than accreting.
+func (g *generator) addCycles() {
+	n := len(g.comps)
+	g.inCycle = map[string]bool{}
+	pairs := int(g.cfg.CycleDensity * float64(n) / 2)
+	if g.cfg.Layers < 2 {
+		pairs = 0
+	}
+	for made, attempts := 0, 0; made < pairs && attempts < pairs*10; attempts++ {
+		l := g.rng.Intn(g.cfg.Layers - 1)
+		a := g.byLayer[l][g.rng.Intn(len(g.byLayer[l]))]
+		b := g.byLayer[l+1][g.rng.Intn(len(g.byLayer[l+1]))]
+		if g.inCycle[a.name] || g.inCycle[b.name] {
+			continue
+		}
+		g.inCycle[a.name], g.inCycle[b.name] = true, true
+		made++
+		g.stats.CyclePairs++
+		a.outDeg++
+		b.outDeg++
+		g.streams = append(g.streams,
+			genStream{name: fmt.Sprintf("cf%06d", made), from: a.name + ".out", to: b.name + ".in"},
+			genStream{name: fmt.Sprintf("cb%06d", made), from: b.name + ".out", to: a.name + ".in",
+				seal: g.drawSeal(g.cfg.SealFraction)},
+		)
+	}
+	loops := int(g.cfg.CycleDensity * float64(n) / 10)
+	for made, attempts := 0, 0; made < loops && attempts < loops*10; attempts++ {
+		c := g.comps[g.rng.Intn(n)]
+		if g.inCycle[c.name] {
+			continue
+		}
+		g.inCycle[c.name] = true
+		made++
+		g.stats.SelfLoops++
+		c.outDeg++
+		g.streams = append(g.streams, genStream{
+			name: fmt.Sprintf("gossip%06d", made),
+			from: c.name + ".out",
+			to:   c.name + ".in",
+			rep:  c.rep,
+		})
+	}
+	g.stats.Streams = len(g.streams)
+}
+
+// addSinks terminates every component whose output nothing consumes — the
+// whole last layer plus any mid-layer component the wiring happened to
+// skip — so the verdict ranges over real sink labels.
+func (g *generator) addSinks() {
+	snkN := 0
+	for _, c := range g.comps {
+		if c.outDeg == 0 {
+			snkN++
+			g.sinks = append(g.sinks, genStream{
+				name: fmt.Sprintf("snk%06d", snkN),
+				from: c.name + ".out",
+			})
+		}
+	}
+	g.stats.Sinks = snkN
+}
+
+// render emits the spec text: a provenance header, one block per component
+// in creation order, then the topology section.
+func (g *generator) render() string {
+	var b strings.Builder
+	est := len(g.comps)*48 + (len(g.sources)+len(g.streams)+len(g.sinks))*56
+	b.Grow(est)
+	c := g.cfg
+	fmt.Fprintf(&b, "# Generated by topogen: seed=%d components=%d layers=%d fanin=%d\n",
+		c.Seed, c.Components, c.Layers, c.FanIn)
+	fmt.Fprintf(&b, "# cycles=%g replicated=%g sealed=%g schemas=%g mix=%d/%d/%d/%d\n",
+		c.CycleDensity, c.ReplicatedFraction, c.SealFraction, c.SchemaFraction,
+		c.Mix.CR, c.Mix.CW, c.Mix.OR, c.Mix.OW)
+	for _, comp := range g.comps {
+		b.WriteString(comp.name)
+		b.WriteString(":\n")
+		if comp.rep {
+			b.WriteString("  Rep: true\n")
+		}
+		if len(comp.paths) == 1 {
+			b.WriteString("  annotation: ")
+			renderAnn(&b, comp.paths[0])
+			b.WriteByte('\n')
+		} else {
+			b.WriteString("  annotation:\n")
+			for _, p := range comp.paths {
+				b.WriteString("    - ")
+				renderAnn(&b, p)
+				b.WriteByte('\n')
+			}
+		}
+		if comp.schema != nil {
+			b.WriteString("  schema:\n    out: [")
+			b.WriteString(strings.Join(comp.schema, ", "))
+			b.WriteString("]\n")
+		}
+	}
+	b.WriteString("topology:\n")
+	section := func(title string, entries []genStream) {
+		if len(entries) == 0 {
+			return
+		}
+		b.WriteString("  ")
+		b.WriteString(title)
+		b.WriteString(":\n")
+		for _, s := range entries {
+			b.WriteString("    - { name: ")
+			b.WriteString(s.name)
+			if s.from != "" {
+				b.WriteString(", from: ")
+				b.WriteString(s.from)
+			}
+			if s.to != "" {
+				b.WriteString(", to: ")
+				b.WriteString(s.to)
+			}
+			if len(s.seal) > 0 {
+				b.WriteString(", seal: [")
+				b.WriteString(strings.Join(s.seal, ", "))
+				b.WriteString("]")
+			}
+			if s.rep {
+				b.WriteString(", rep: true")
+			}
+			b.WriteString(" }\n")
+		}
+	}
+	section("sources", g.sources)
+	section("streams", g.streams)
+	section("sinks", g.sinks)
+	return b.String()
+}
+
+func renderAnn(b *strings.Builder, p genPath) {
+	fmt.Fprintf(b, "{ from: %s, to: %s, label: %s", p.from, p.to, p.label)
+	if len(p.subscript) > 0 {
+		fmt.Fprintf(b, ", subscript: [%s]", strings.Join(p.subscript, ", "))
+	}
+	b.WriteString(" }")
+}

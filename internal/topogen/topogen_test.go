@@ -1,0 +1,213 @@
+package topogen
+
+import (
+	"strings"
+	"testing"
+
+	"blazes/internal/dataflow"
+)
+
+// mustGraph generates, parses, and validates one topology.
+func mustGraph(t *testing.T, cfg Config) (Result, *dataflow.Graph) {
+	t.Helper()
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate(%+v): %v", cfg, err)
+	}
+	g, err := res.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v\nspec head:\n%s", err, head(res.Spec, 20))
+	}
+	return res, g
+}
+
+func head(s string, lines int) string {
+	parts := strings.SplitN(s, "\n", lines+1)
+	if len(parts) > lines {
+		parts = parts[:lines]
+	}
+	return strings.Join(parts, "\n")
+}
+
+// checkTopology runs the full contract on one generated topology: the spec
+// parses and validates (Graph), analysis completes, and lint reports no
+// errors (warnings are expected and fine).
+func checkTopology(t *testing.T, cfg Config) (Result, *dataflow.Analysis) {
+	t.Helper()
+	res, g := mustGraph(t, cfg)
+	a, err := dataflow.Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	for _, d := range dataflow.LintGraph(g) {
+		if d.Severity == dataflow.SeverityError {
+			t.Fatalf("generated graph has lint error: %s", d)
+		}
+	}
+	return res, a
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Default(300, 42)
+	r1, a1 := checkTopology(t, cfg)
+	r2, a2 := checkTopology(t, cfg)
+	if r1.Spec != r2.Spec {
+		t.Fatal("same config produced different spec text")
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatalf("same config produced different stats: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+	if e1, e2 := a1.Explain(), a2.Explain(); e1 != e2 {
+		t.Fatal("same config produced different analysis explanations")
+	}
+	r3, err := Generate(Default(300, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Spec == r1.Spec {
+		t.Fatal("different seeds produced identical spec text")
+	}
+}
+
+func TestGeneratedGraphShape(t *testing.T) {
+	res, g := mustGraph(t, Default(400, 7))
+	comps := g.Components()
+	if len(comps) != 400 {
+		t.Fatalf("components = %d, want 400", len(comps))
+	}
+	st := res.Stats
+	if got := len(g.Streams()); got != st.Streams+st.Sources+st.Sinks {
+		t.Fatalf("streams = %d, want %d internal + %d sources + %d sinks",
+			got, st.Streams, st.Sources, st.Sinks)
+	}
+	if st.CyclePairs == 0 && st.SelfLoops == 0 {
+		t.Fatal("default config should generate cycles")
+	}
+	if st.Sealed == 0 || st.Replicated == 0 || st.Schemas == 0 {
+		t.Fatalf("default config should exercise seals/rep/schemas: %+v", st)
+	}
+	// No unreachable components: every component is fed (directly or
+	// transitively) from a source, so BLZ003 must not fire.
+	for _, d := range dataflow.LintGraph(g) {
+		if d.Code == dataflow.CodeUnreachable {
+			t.Fatalf("generated graph has unreachable component: %s", d)
+		}
+	}
+}
+
+// TestGenerateKnobMatrix sweeps every knob through its extremes: the
+// contract (valid, analyzable, lint-error-free) must hold across the whole
+// configuration space, not just the defaults.
+func TestGenerateKnobMatrix(t *testing.T) {
+	base := Default(120, 9)
+	cases := map[string]func(*Config){
+		"defaults":      func(*Config) {},
+		"tiny":          func(c *Config) { c.Components = 1 },
+		"two":           func(c *Config) { c.Components = 2 },
+		"single-layer":  func(c *Config) { c.Layers = 1 },
+		"deep":          func(c *Config) { c.Layers = 60 },
+		"wide":          func(c *Config) { c.Layers = 2 },
+		"fanin-1":       func(c *Config) { c.FanIn = 1 },
+		"fanin-8":       func(c *Config) { c.FanIn = 8 },
+		"acyclic":       func(c *Config) { c.CycleDensity = 0 },
+		"max-cycles":    func(c *Config) { c.CycleDensity = 1 },
+		"all-rep":       func(c *Config) { c.ReplicatedFraction = 1 },
+		"all-sealed":    func(c *Config) { c.SealFraction = 1 },
+		"all-schema":    func(c *Config) { c.SchemaFraction = 1 },
+		"no-schema":     func(c *Config) { c.SchemaFraction = 0 },
+		"all-dual":      func(c *Config) { c.ExtraInputFraction = 1 },
+		"confluent-mix": func(c *Config) { c.Mix = AnnotationMix{CR: 1} },
+		"ordered-mix":   func(c *Config) { c.Mix = AnnotationMix{OW: 1} },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			mutate(&cfg)
+			checkTopology(t, cfg)
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := map[string]Config{
+		"zero":        {},
+		"neg-comps":   {Components: -3},
+		"neg-layers":  {Components: 10, Layers: -1},
+		"neg-fanin":   {Components: 10, FanIn: -2},
+		"cycles>1":    {Components: 10, CycleDensity: 1.5},
+		"seal<0":      {Components: 10, SealFraction: -0.1},
+		"neg-weights": {Components: 10, Mix: AnnotationMix{CR: -1, CW: 2}},
+	}
+	for name, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("%s: Generate(%+v) should fail", name, cfg)
+		}
+	}
+	// Layers beyond Components clamps rather than failing.
+	if _, err := Generate(Config{Components: 3, Layers: 50}); err != nil {
+		t.Errorf("layers clamp: %v", err)
+	}
+}
+
+// TestScale10k is the scale-smoke contract: generate and fully analyze a
+// 10k-component topology (CI runs this under -race). It also re-checks
+// byte determinism at scale, where iteration-order bugs actually surface.
+func TestScale10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-component generation is not a -short test")
+	}
+	cfg := Default(10_000, 8)
+	res, a := checkTopology(t, cfg)
+	res2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spec != res2.Spec {
+		t.Fatal("10k spec not byte-identical across runs")
+	}
+	if a.Verdict.String() == "" {
+		t.Fatal("empty verdict")
+	}
+	t.Logf("10k stats: %+v, verdict %s", res.Stats, a.Verdict)
+}
+
+// FuzzGenerate drives arbitrary knob combinations through the full
+// contract: normalize, generate, parse, validate, analyze, lint. Any
+// panic, parse failure, or lint error on generator output is a bug.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), 50, 0, 3, 0.1, 0.2, 0.15, 0.3, 0.2)
+	f.Add(int64(99), 200, 5, 1, 1.0, 1.0, 1.0, 1.0, 1.0)
+	f.Add(int64(-7), 1, 1, 2, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, comps, layers, fanin int,
+		cyc, rep, seal, schema, dual float64) {
+		if comps < 1 || comps > 400 || layers < 0 || layers > comps || fanin < 1 || fanin > 10 {
+			t.Skip()
+		}
+		for _, v := range []float64{cyc, rep, seal, schema, dual} {
+			if v < 0 || v > 1 {
+				t.Skip()
+			}
+		}
+		cfg := Config{
+			Seed: seed, Components: comps, Layers: layers, FanIn: fanin,
+			CycleDensity: cyc, ReplicatedFraction: rep, SealFraction: seal,
+			SchemaFraction: schema, ExtraInputFraction: dual,
+		}
+		res, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("normalized config rejected: %v", err)
+		}
+		g, err := res.Graph()
+		if err != nil {
+			t.Fatalf("generated spec does not round-trip: %v", err)
+		}
+		if _, err := dataflow.Analyze(g); err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		for _, d := range dataflow.LintGraph(g) {
+			if d.Severity == dataflow.SeverityError {
+				t.Fatalf("lint error on generated graph: %s", d)
+			}
+		}
+	})
+}

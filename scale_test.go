@@ -1,0 +1,157 @@
+package blazes
+
+// Scale tests drive the public API over generated topologies (blazes gen /
+// blazes/topogen). Three tiers are wired in: the 1k tier runs the session
+// differential contract (randomized mutations, session report ≡ fresh
+// one-shot), the 10k tier is an end-to-end smoke of the full
+// gen → parse → graph → analyze pipeline, and the 100k tier is the same
+// smoke gated behind BLAZES_SCALE_FULL=1 so plain `go test ./...` stays
+// fast. Determinism — the acceptance bar that equal seeds produce
+// byte-identical reports — runs at every invocation, including -race.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"blazes/topogen"
+)
+
+// openGenerated runs the full public pipeline on one generated topology and
+// returns the parsed spec (for sessions) alongside the built graph.
+func openGenerated(t testing.TB, components int, seed int64) (*Spec, *Graph) {
+	t.Helper()
+	res, err := topogen.Generate(topogen.Default(components, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(res.Spec)
+	if err != nil {
+		t.Fatalf("generated spec failed to parse: %v", err)
+	}
+	g, err := spec.Graph(fmt.Sprintf("scale-%d-s%d", components, seed))
+	if err != nil {
+		t.Fatalf("generated spec failed to build: %v", err)
+	}
+	return spec, g
+}
+
+// TestScaleSessionDifferential runs the TestSessionDifferential contract at
+// the 1k tier: sessions opened over generated 1000-component topologies,
+// mutated with the same randomized mutator pool, must emit reports
+// byte-identical to a fresh one-shot analysis after every step.
+func TestScaleSessionDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k differential tier skipped under -short")
+	}
+	ctx := context.Background()
+	muts := sessionMutators()
+
+	const sequences = 3
+	for seq := 0; seq < sequences; seq++ {
+		spec, _ := openGenerated(t, 1000, int64(seq)+800)
+		s, err := spec.OpenSession(fmt.Sprintf("scale-1k-%d", seq))
+		if err != nil {
+			t.Fatalf("seq %d: open: %v", seq, err)
+		}
+
+		rng := rand.New(rand.NewSource(int64(seq) + 1))
+		serial := 0
+		trace := []string{"open"}
+		const steps = 3
+		for step := 0; step <= steps; step++ {
+			if step > 0 {
+				trace = append(trace, muts[rng.Intn(len(muts))](t, rng, s, false, &serial))
+			}
+			got, err := s.Analyze(ctx)
+			if err != nil {
+				t.Fatalf("seq %d step %d (%v): session analyze: %v", seq, step, trace, err)
+			}
+			fresh, err := NewAnalyzer().Analyze(s.Graph())
+			if err != nil {
+				t.Fatalf("seq %d step %d (%v): fresh analyze: %v", seq, step, trace, err)
+			}
+			gotBytes := marshalWithoutDelta(t, got)
+			wantBytes := marshalWithoutDelta(t, fresh.Report())
+			if !bytes.Equal(gotBytes, wantBytes) {
+				t.Fatalf("seq %d step %d (%v): session report differs from fresh analysis at 1k scale",
+					seq, step, trace)
+			}
+		}
+	}
+}
+
+// TestScaleReportDeterminism pins the acceptance criterion directly: two
+// completely independent runs of the same seed — generate, parse, build,
+// analyze, marshal — produce byte-identical report JSON. The test is cheap
+// enough to run everywhere, so the -race suite pins it too.
+func TestScaleReportDeterminism(t *testing.T) {
+	run := func() (string, []byte) {
+		res, err := topogen.Generate(topogen.Default(1500, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := ParseSpec(res.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := spec.Graph("determinism")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewAnalyzer().Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Report().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Spec, out
+	}
+	specA, repA := run()
+	specB, repB := run()
+	if specA != specB {
+		t.Fatal("same seed generated different spec text")
+	}
+	if !bytes.Equal(repA, repB) {
+		t.Fatal("same seed produced different report bytes")
+	}
+}
+
+// TestScaleTiers smokes the 10k and 100k tiers end to end through the
+// public API. The 100k tier takes tens of seconds, so it only runs when
+// BLAZES_SCALE_FULL=1 (see EXPERIMENTS.md).
+func TestScaleTiers(t *testing.T) {
+	tiers := []struct {
+		components int
+		skip       string
+	}{
+		{10_000, ""},
+		{100_000, "set BLAZES_SCALE_FULL=1 to run the 100k tier"},
+	}
+	for _, tier := range tiers {
+		t.Run(fmt.Sprintf("%dk", tier.components/1000), func(t *testing.T) {
+			if testing.Short() {
+				t.Skip("scale tier skipped under -short")
+			}
+			if tier.skip != "" && os.Getenv("BLAZES_SCALE_FULL") == "" {
+				t.Skip(tier.skip)
+			}
+			_, g := openGenerated(t, tier.components, 8)
+			res, err := NewAnalyzer().Analyze(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := res.Report()
+			if rep == nil || len(rep.Components) == 0 {
+				t.Fatal("empty report at scale")
+			}
+			t.Logf("%d components: verdict %s (deterministic %v), %d streams reported",
+				tier.components, res.Verdict(), res.Deterministic(), len(rep.Streams))
+		})
+	}
+}

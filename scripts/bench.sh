@@ -3,7 +3,7 @@
 # JSON.
 #
 # Usage:
-#   scripts/bench.sh                 # 5 runs per benchmark -> BENCH_5.json
+#   scripts/bench.sh                 # 5 runs per benchmark -> BENCH_8.json
 #   scripts/bench.sh -quick          # <1-minute smoke signal -> BENCH_quick.json
 #   COUNT=3 OUT=/tmp/b.json scripts/bench.sh
 #
@@ -12,8 +12,10 @@
 # is used to gate regressions between PRs.
 #
 # -quick mode is for contributors who want a fast signal: one run per
-# benchmark with the Figure 11 sweep reduced via BLAZES_BENCH_QUICK (the
-# full-size sweep dominates the suite's runtime). The fast analysis
+# benchmark with the Figure 11 sweep and the 10k-component scale pair
+# (BenchmarkAnalyze10k, BenchmarkSessionReanalyze10k) reduced via
+# BLAZES_BENCH_QUICK — the sweep and the scale graphs dominate the
+# suite's runtime; quick mode runs the scale pair at 1k. The fast analysis
 # benchmarks — including BenchmarkSessionReanalyze vs BenchmarkFullReanalyze,
 # the incremental-session speedup pair — run at full fidelity in both
 # modes. Quick numbers are a smoke signal only — Fig11's workload differs
@@ -38,7 +40,7 @@ if [[ "$QUICK" == 1 ]]; then
 	export BLAZES_BENCH_QUICK=1
 else
 	COUNT="${COUNT:-5}"
-	OUT="${OUT:-BENCH_5.json}"
+	OUT="${OUT:-BENCH_8.json}"
 fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # bench_diff.sh — smoke-run every benchmark once and diff ns/op against the
-# recorded baseline (BENCH_5.json).
+# recorded baseline (BENCH_8.json).
 #
 # Usage:
-#   scripts/bench_diff.sh                     # threshold 3.0× vs BENCH_5.json
-#   BASELINE=BENCH_5.json THRESHOLD=2.5 scripts/bench_diff.sh
+#   scripts/bench_diff.sh                     # threshold 3.0× vs BENCH_8.json
+#   BASELINE=BENCH_8.json THRESHOLD=2.5 scripts/bench_diff.sh
 #
 #   # JSON mode: skip `go test -bench` and diff the Benchmark* entries of
 #   # one report against another (the load-smoke job compares a fresh
@@ -19,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${BASELINE:-BENCH_5.json}"
+BASELINE="${BASELINE:-BENCH_8.json}"
 THRESHOLD="${THRESHOLD:-3.0}"
 CURRENT_JSON="${CURRENT_JSON:-}"
 RAW="$(mktemp)"

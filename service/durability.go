@@ -276,8 +276,9 @@ func (s *Server) recoverSessions(plan *rebuildPlan) {
 	}()
 
 	s.mu.Lock()
-	s.tombstones = append(s.tombstones, plan.evicted...)
-	s.trimTombstonesLocked()
+	for _, t := range plan.evicted {
+		s.addTombstoneLocked(t)
+	}
 	s.mu.Unlock()
 
 	for _, ss := range plan.sessions {
@@ -295,8 +296,7 @@ func (s *Server) recoverSessions(plan *rebuildPlan) {
 			// serving: tombstone the session and count the damage.
 			s.replayErrors.Add(1)
 			s.mu.Lock()
-			s.tombstones = append(s.tombstones, Tombstone{Session: ss.ID, Name: ss.Name, State: "unrecoverable"})
-			s.trimTombstonesLocked()
+			s.addTombstoneLocked(Tombstone{Session: ss.ID, Name: ss.Name, State: "unrecoverable"})
 			s.mu.Unlock()
 			continue
 		}
@@ -312,10 +312,24 @@ func (s *Server) recoverSessions(plan *rebuildPlan) {
 	}
 }
 
-// trimTombstonesLocked bounds the tombstone history; caller holds s.mu.
-func (s *Server) trimTombstonesLocked() {
-	if len(s.tombstones) > maxTombstones {
-		s.tombstones = append([]Tombstone(nil), s.tombstones[len(s.tombstones)-maxTombstones:]...)
+// addTombstoneLocked records a tombstone, maintains the id index the fetch
+// path uses for O(1) 410 lookups, and enforces the FIFO bound; caller holds
+// s.mu. Every tombstone append goes through here — a tombstone in the slice
+// without its index entry (or vice versa) would make an evicted session
+// flap between 410 and 404.
+func (s *Server) addTombstoneLocked(t Tombstone) {
+	if i, ok := s.tombIdx[t.Session]; ok {
+		// Same session tombstoned again (e.g. replayed evict records):
+		// keep one entry, freshest state wins.
+		s.tombstones[i-s.tombBase] = t
+		return
+	}
+	s.tombIdx[t.Session] = s.tombBase + len(s.tombstones)
+	s.tombstones = append(s.tombstones, t)
+	for len(s.tombstones) > maxTombstones {
+		delete(s.tombIdx, s.tombstones[0].Session)
+		s.tombstones = s.tombstones[1:]
+		s.tombBase++
 	}
 }
 
@@ -332,13 +346,12 @@ func (s *Server) evictOverflowLocked() {
 		s.lru.Remove(oldest)
 		delete(s.byID, ev.id)
 		s.evictedTotal.Add(1)
-		s.tombstones = append(s.tombstones, Tombstone{
+		s.addTombstoneLocked(Tombstone{
 			Session: ev.id,
 			Name:    ev.name,
 			Version: ev.sess.Version(),
 			State:   "evicted",
 		})
-		s.trimTombstonesLocked()
 		_ = s.appendRecord(journalRecord{Kind: "evict", Session: ev.id})
 	}
 }

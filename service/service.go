@@ -108,7 +108,12 @@ type Server struct {
 	// lru orders entries most-recently-used first.
 	lru *list.List
 	// tombstones remember evicted/unrecoverable sessions (bounded FIFO).
+	// tombIdx maps session id → tombBase-relative position so the fetch
+	// path resolves 410s in O(1); tombBase counts entries trimmed off the
+	// front, keeping indexed positions stable across trims.
 	tombstones []Tombstone
+	tombIdx    map[string]int
+	tombBase   int
 
 	// Durability (nil jrn = in-memory server). snapMu serializes writers
 	// (read lock around apply+journal) against snapshots (write lock), so
@@ -182,6 +187,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		max:         max,
 		byID:        map[string]*entry{},
+		tombIdx:     map[string]int{},
 		lru:         list.New(),
 		snapEvery:   snapEvery,
 		gate:        newGate(maxConc, maxQueue, queueTimeout),
@@ -285,11 +291,9 @@ func (s *Server) fetch(w http.ResponseWriter, id string) (*entry, bool) {
 	}
 	s.mu.Lock()
 	var tomb *Tombstone
-	for i := range s.tombstones {
-		if s.tombstones[i].Session == id {
-			tomb = &s.tombstones[i]
-			break
-		}
+	if i, ok := s.tombIdx[id]; ok {
+		t := s.tombstones[i-s.tombBase]
+		tomb = &t
 	}
 	s.mu.Unlock()
 	if tomb != nil {

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTombstoneIndexPastBound churns far past the FIFO bound and checks the
+// id index stays exactly in sync with the retained slice: trimmed sessions
+// answer 404 (their index entries are deleted, not dangling), retained ones
+// answer 410 with the right tombstone, and every index entry resolves to
+// its own session.
+func TestTombstoneIndexPastBound(t *testing.T) {
+	srv := New(Options{})
+	h := srv.Handler()
+
+	const extra = 75
+	total := maxTombstones + extra
+	srv.mu.Lock()
+	for i := 0; i < total; i++ {
+		srv.addTombstoneLocked(Tombstone{
+			Session: fmt.Sprintf("s%d", i+1),
+			Name:    fmt.Sprintf("sess-%d", i+1),
+			Version: uint64(i),
+			State:   "evicted",
+		})
+	}
+	if len(srv.tombstones) != maxTombstones {
+		t.Fatalf("retained %d tombstones, want %d", len(srv.tombstones), maxTombstones)
+	}
+	if len(srv.tombIdx) != maxTombstones {
+		t.Fatalf("index holds %d entries, want %d", len(srv.tombIdx), maxTombstones)
+	}
+	for id, pos := range srv.tombIdx {
+		got := srv.tombstones[pos-srv.tombBase]
+		if got.Session != id {
+			t.Fatalf("index entry %q resolves to tombstone for %q", id, got.Session)
+		}
+	}
+	srv.mu.Unlock()
+
+	// The oldest `extra` tombstones fell off the FIFO: plain 404.
+	if code, _ := call(t, h, "GET", fmt.Sprintf("/v1/sessions/s%d", extra), nil); code != http.StatusNotFound {
+		t.Errorf("trimmed tombstone should 404, got %d", code)
+	}
+	// Everything newer still answers 410 with its tombstone.
+	for _, n := range []int{extra + 1, total / 2, total} {
+		code, body := call(t, h, "GET", fmt.Sprintf("/v1/sessions/s%d", n), nil)
+		if code != http.StatusGone {
+			t.Errorf("s%d: got %d, want 410", n, code)
+		}
+		if !strings.Contains(body, fmt.Sprintf(`"sess-%d"`, n)) {
+			t.Errorf("s%d: tombstone body lacks its name: %s", n, body)
+		}
+	}
+}
+
+// TestTombstoneRewrite re-adds an already-tombstoned session (as replayed
+// evict records can): the entry is updated in place, not duplicated.
+func TestTombstoneRewrite(t *testing.T) {
+	srv := New(Options{})
+	srv.mu.Lock()
+	srv.addTombstoneLocked(Tombstone{Session: "s1", Name: "a", Version: 1, State: "evicted"})
+	srv.addTombstoneLocked(Tombstone{Session: "s2", Name: "b", Version: 1, State: "evicted"})
+	srv.addTombstoneLocked(Tombstone{Session: "s1", Name: "a", Version: 9, State: "unrecoverable"})
+	if len(srv.tombstones) != 2 || len(srv.tombIdx) != 2 {
+		t.Fatalf("want 2 tombstones after rewrite, got %d (idx %d)", len(srv.tombstones), len(srv.tombIdx))
+	}
+	got := srv.tombstones[srv.tombIdx["s1"]-srv.tombBase]
+	srv.mu.Unlock()
+	if got.Version != 9 || got.State != "unrecoverable" {
+		t.Fatalf("rewrite should win: %+v", got)
+	}
+}

@@ -1,0 +1,56 @@
+// Package topogen generates large, seeded Blazes dataflow topologies as
+// `.blazes` spec text: layered DAGs with replicated fan-out/fan-in, cyclic
+// supernodes, mixed CR/CW/OR/OW annotations, and optional seal keys and
+// output schemas. The same Config always produces byte-identical spec text,
+// so generated topologies can anchor benchmarks and differential tests.
+//
+// The output is ordinary spec text: feed it to blazes.ParseSpec (or write
+// it to a file for the CLI). The `blazes gen` subcommand wraps this package.
+//
+// This package deliberately does not import blazes: the root package's own
+// benchmarks drive the generator, so a dependency back on the public API
+// would cycle. That is also why Generate returns spec text instead of a
+// graph — the graph types live on the other side of that boundary.
+package topogen
+
+import (
+	itopogen "blazes/internal/topogen"
+)
+
+// Config parameterizes one generated topology. See the field docs on the
+// knobs: size, layering, fan-in, cycle density, annotation mix, and the
+// replicated/sealed/schema fractions. The zero value is invalid; start from
+// Default.
+type Config = itopogen.Config
+
+// AnnotationMix weights the four annotation classes (CR/CW/OR/OW).
+type AnnotationMix = itopogen.AnnotationMix
+
+// DefaultMix is the reference annotation mix (40/25/20/15).
+var DefaultMix = itopogen.DefaultMix
+
+// Stats summarizes a generated topology.
+type Stats = itopogen.Stats
+
+// Result is one generated topology: the normalized config that produced
+// it, the `.blazes` spec text, and summary statistics.
+type Result struct {
+	Config Config
+	Spec   string
+	Stats  Stats
+}
+
+// Default returns the reference configuration at the given size and seed.
+func Default(components int, seed int64) Config {
+	return itopogen.Default(components, seed)
+}
+
+// Generate produces one topology from the config. Generation is
+// deterministic: equal configs yield byte-identical Spec text.
+func Generate(cfg Config) (Result, error) {
+	res, err := itopogen.Generate(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Config: res.Config, Spec: res.Spec, Stats: res.Stats}, nil
+}
