@@ -22,7 +22,11 @@
 //	blazes -spec internal/spec/testdata/wordcount.blazes -seal tweets=batch -json
 //	blazes verify -workload wordcount-storm -seeds 64
 //	blazes verify -json
+//	blazes verify -workload synthetic-chains -shrink traces/
+//	blazes verify -replay traces/synthetic-chains-none-reorder.json
+//	blazes verify -coordinator http://127.0.0.1:8351 -seeds 10000
 //	blazes serve -addr 127.0.0.1:8351
+//	blazes sweep-worker -coordinator http://127.0.0.1:8351
 //	blazes lint internal/spec/testdata/wordcount.blazes internal/spec/testdata/adreport.blazes
 //	blazes gen -components 10000 -seed 8 -o big.blazes
 //
@@ -93,6 +97,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return runVerify(ctx, args[1:], stdout, stderr)
 		case "serve":
 			return runServe(ctx, args[1:], stdout, stderr)
+		case "sweep-worker":
+			return runSweepWorker(ctx, args[1:], stdout, stderr)
 		case "lint":
 			return runLint(args[1:], stdout, stderr)
 		case "gen":

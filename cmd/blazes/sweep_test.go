@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blazes/verify"
+)
+
+// TestGoldenShrinkTrace pins the shrink pipeline end to end: `blazes
+// verify -shrink` on the order-sensitive synthetic workload writes
+// 1-minimal replayable trace artifacts with deterministic bytes, and
+// `blazes verify -replay` reproduces each one with exit 0.
+func TestGoldenShrinkTrace(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := exec(t, "verify", "-workload", "synthetic-chains", "-seeds", "8", "-shrink", dir)
+	if code != exitOK {
+		t.Fatalf("verify -shrink: code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no trace artifacts written (err=%v); stderr: %s", err, stderr)
+	}
+
+	// The stripped reorder cell reliably diverges; its artifact is the
+	// golden.
+	goldenSrc := filepath.Join(dir, "synthetic-chains-none-reorder.json")
+	data, err := os.ReadFile(goldenSrc)
+	if err != nil {
+		t.Fatalf("expected artifact missing: %v (have %v)", err, entries)
+	}
+	checkGolden(t, "trace_chains_none_reorder.json", string(data))
+
+	for _, path := range entries {
+		code, stdout, stderr := exec(t, "verify", "-replay", path)
+		if code != exitOK {
+			t.Errorf("replay %s: code = %d\nstdout: %s\nstderr: %s", path, code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "reproduced") {
+			t.Errorf("replay %s: missing verdict in output: %s", path, stdout)
+		}
+	}
+}
+
+// TestReplayExitCodes pins the -replay / flag-validation exit-code matrix.
+func TestReplayExitCodes(t *testing.T) {
+	dir := t.TempDir()
+
+	// A real trace to tamper with.
+	code, _, stderr := exec(t, "verify", "-workload", "synthetic-chains", "-seeds", "6", "-shrink", dir)
+	if code != exitOK {
+		t.Fatalf("shrink setup failed: %d %s", code, stderr)
+	}
+	traces, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(traces) == 0 {
+		t.Fatal("no traces to tamper with")
+	}
+	data, err := os.ReadFile(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := verify.DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Anomalies = verify.Anomalies{} // recorded classification no longer matches
+	tampered, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamperedPath := filepath.Join(dir, "tampered.trace")
+	if err := os.WriteFile(tamperedPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	junkPath := filepath.Join(dir, "junk.trace")
+	if err := os.WriteFile(junkPath, []byte(`{"version":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"tampered trace does not reproduce", []string{"verify", "-replay", tamperedPath}, exitError},
+		{"junk artifact", []string{"verify", "-replay", junkPath}, exitError},
+		{"missing file", []string{"verify", "-replay", filepath.Join(dir, "absent.json")}, exitError},
+		{"replay combined with sweep flags", []string{"verify", "-replay", tamperedPath, "-shrink", dir}, exitUsage},
+		{"unknown workload", []string{"verify", "-workload", "no-such"}, exitUsage},
+		{"bad seeds", []string{"verify", "-seeds", "0"}, exitUsage},
+		{"worker without coordinator", []string{"sweep-worker"}, exitUsage},
+		{"worker bad flags", []string{"sweep-worker", "-coordinator", "http://x", "-max", "0"}, exitUsage},
+	} {
+		if code, stdout, stderr := exec(t, tc.args...); code != tc.code {
+			t.Errorf("%s: code = %d, want %d\nstdout: %s\nstderr: %s", tc.name, code, tc.code, stdout, stderr)
+		}
+	}
+}
+
+// TestDistributedVerifyCLI is the full fleet in one process: `blazes
+// serve` coordinates, two `blazes sweep-worker` loops claim and report
+// over a real socket, and `blazes verify -coordinator` submits, streams
+// progress, collects the shrunk trace of the injected stripped-
+// coordination anomaly, and renders a JSON report byte-identical to a
+// local single-process run.
+func TestDistributedVerifyCLI(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	serveDone := make(chan int, 1)
+	go func() {
+		var errb bytes.Buffer
+		serveDone <- runServe(ctx, []string{"-addr", "127.0.0.1:0"}, &out, &errb)
+	}()
+	base := waitForAddr(t, &out)
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < 2; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			var wout, werr bytes.Buffer
+			runSweepWorker(ctx, []string{
+				"-coordinator", base, "-poll", "50ms", "-parallel", "1",
+				"-name", []string{"wa", "wb"}[wi],
+			}, &wout, &werr)
+		}(wi)
+	}
+
+	dir := t.TempDir()
+	code, stdout, stderr := exec(t, "verify",
+		"-coordinator", base, "-workload", "synthetic-chains", "-seeds", "8", "-shrink", dir, "-json")
+	if code != exitOK {
+		t.Fatalf("verify -coordinator: code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+
+	wantCode, wantOut, wantErr := exec(t, "verify", "-workload", "synthetic-chains", "-seeds", "8", "-json")
+	if wantCode != exitOK {
+		t.Fatalf("local verify: code = %d, stderr: %s", wantCode, wantErr)
+	}
+	if stdout != wantOut {
+		t.Errorf("distributed report differs from local run:\n--- distributed ---\n%s\n--- local ---\n%s", stdout, wantOut)
+	}
+
+	traces, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(traces) == 0 {
+		t.Fatalf("coordinator produced no shrunk traces; stderr: %s", stderr)
+	}
+	for _, path := range traces {
+		if code, _, rerr := exec(t, "verify", "-replay", path); code != exitOK {
+			t.Errorf("replay %s: code = %d, stderr: %s", path, code, rerr)
+		}
+	}
+
+	cancel()
+	wg.Wait()
+	select {
+	case <-serveDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

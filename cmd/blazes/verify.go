@@ -1,9 +1,13 @@
 // The verify subcommand: schedule-exploration verification of the Blazes
-// guarantee over the built-in workloads.
+// guarantee over the built-in workloads — locally, or distributed across
+// sweep-worker processes via a coordinator.
 //
 // Usage:
 //
 //	blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-json]
+//	blazes verify -shrink dir [...]          also write 1-minimal traces
+//	blazes verify -coordinator URL [...]     distribute via blazes serve
+//	blazes verify -replay trace.json         re-execute a shrunk trace
 //
 // Flags:
 //
@@ -11,7 +15,8 @@
 //	                  Names: wordcount-storm, bloom-report-THRESH,
 //	                  bloom-report-POOR, bloom-report-CAMPAIGN,
 //	                  adtrack-network, synthetic-set,
-//	                  synthetic-chains-gated, synthetic-chains
+//	                  synthetic-chains-gated, synthetic-chains, plus
+//	                  generated topologies as generated-<n>c-s<seed>
 //	-seeds n          schedules explored per (mechanism, fault plan)
 //	                  configuration (default 64)
 //	-parallel n       worker count for exploring schedules concurrently;
@@ -19,9 +24,17 @@
 //	                  worker per CPU, 1 = sequential)
 //	-sequencing       prefer M1 sequencing over M2 dynamic ordering
 //	-json             emit the reports as a JSON array
+//	-shrink dir       delta-debug every anomalous cell to a 1-minimal
+//	                  replayable trace artifact written into dir
+//	-coordinator URL  submit the sweep to a `blazes serve` coordinator and
+//	                  poll until worker processes finish it; the merged
+//	                  report is byte-identical to a local run
+//	-replay file      re-execute a trace artifact and check it reproduces
+//	                  its recorded anomaly classification
 //
 // Exit codes follow the command's contract: 0 when every verified workload
-// upholds the guarantee, 1 on a violation or error, 2 on usage errors.
+// upholds the guarantee (or the replayed trace reproduces), 1 on a
+// violation, a non-reproducing trace, or an error, 2 on usage errors.
 package main
 
 import (
@@ -30,8 +43,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
+	"blazes/service"
 	"blazes/verify"
 )
 
@@ -39,17 +56,22 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	fs := flag.NewFlagSet("blazes verify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seeds      = fs.Int("seeds", verify.DefaultSeeds, "schedules per (mechanism, plan) configuration")
-		parallel   = fs.Int("parallel", 0, "schedule-sweep workers (0 = one per CPU, 1 = sequential; reports are byte-identical at any setting)")
-		sequencing = fs.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
-		jsonOut    = fs.Bool("json", false, "emit reports as a JSON array")
-		workloads  multiFlag
+		seeds       = fs.Int("seeds", verify.DefaultSeeds, "schedules per (mechanism, plan) configuration")
+		parallel    = fs.Int("parallel", 0, "schedule-sweep workers (0 = one per CPU, 1 = sequential; reports are byte-identical at any setting)")
+		sequencing  = fs.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
+		jsonOut     = fs.Bool("json", false, "emit reports as a JSON array")
+		shrinkDir   = fs.String("shrink", "", "write 1-minimal replayable traces for anomalous cells into this directory")
+		coordinator = fs.String("coordinator", "", "distribute the sweep via this coordinator URL (blazes serve)")
+		batch       = fs.Int("batch", 0, "seeds per claimable batch in coordinator mode (0 = coordinator default)")
+		replayPath  = fs.String("replay", "", "replay a shrunk trace artifact (exclusive with the sweep flags)")
+		workloads   multiFlag
 	)
 	fs.Var(&workloads, "workload", "workload name (repeatable; default: the full suite)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-json]\n\n")
+		fmt.Fprintf(stderr, "usage: blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-json]\n"+
+			"       blazes verify -shrink dir | -coordinator URL | -replay trace.json\n\n")
 		fs.PrintDefaults()
-		fmt.Fprintf(stderr, "\nworkloads: %s\n", strings.Join(workloadNames(), ", "))
+		fmt.Fprintf(stderr, "\nworkloads: %s, generated-<n>c-s<seed>\n", strings.Join(workloadNames(), ", "))
 	}
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -62,6 +84,14 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		fs.Usage()
 		return exitUsage
 	}
+	if *replayPath != "" {
+		if len(workloads) > 0 || *shrinkDir != "" || *coordinator != "" {
+			fmt.Fprintf(stderr, "blazes: verify: -replay cannot be combined with sweep flags\n")
+			fs.Usage()
+			return exitUsage
+		}
+		return runReplay(ctx, *replayPath, *jsonOut, stdout, stderr)
+	}
 	if *seeds <= 0 {
 		fmt.Fprintf(stderr, "blazes: verify: -seeds must be positive\n")
 		fs.Usage()
@@ -73,24 +103,32 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		return exitUsage
 	}
 
-	suite := verify.Workloads()
-	selected := suite
+	selected := verify.Workloads()
 	if len(workloads) > 0 {
-		byName := map[string]verify.Workload{}
-		for _, w := range suite {
-			byName[w.Name()] = w
-		}
 		selected = nil
 		for _, name := range workloads {
-			w, ok := byName[name]
-			if !ok {
-				fmt.Fprintf(stderr, "blazes: verify: unknown workload %q (workloads: %s)\n",
-					name, strings.Join(workloadNames(), ", "))
+			w, err := verify.LookupWorkload(name)
+			if err != nil {
+				fmt.Fprintln(stderr, "blazes: verify:", err)
 				fs.Usage()
 				return exitUsage
 			}
 			selected = append(selected, w)
 		}
+	}
+	if *shrinkDir != "" {
+		if err := os.MkdirAll(*shrinkDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+	}
+	if *batch < 0 {
+		fmt.Fprintf(stderr, "blazes: verify: -batch must be non-negative\n")
+		fs.Usage()
+		return exitUsage
+	}
+	if *coordinator != "" {
+		return runCoordinated(ctx, *coordinator, workloads, *seeds, *batch, *sequencing, *shrinkDir, *jsonOut, stdout, stderr)
 	}
 
 	parallelism := *parallel
@@ -101,8 +139,21 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	var reports []*verify.Report
 	holds := true
 	for _, w := range selected {
-		rep, err := verify.CheckContext(ctx, w, opts)
+		var (
+			rep    *verify.Report
+			traces []*verify.Trace
+			err    error
+		)
+		if *shrinkDir != "" {
+			rep, traces, err = verify.CheckShrink(ctx, w, opts)
+		} else {
+			rep, err = verify.CheckContext(ctx, w, opts)
+		}
 		if err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		if err := writeTraces(*shrinkDir, traces, stderr); err != nil {
 			fmt.Fprintln(stderr, "blazes: verify:", err)
 			return exitError
 		}
@@ -125,6 +176,156 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		return exitError
 	}
 	return exitOK
+}
+
+// runReplay re-executes a shrunk trace artifact: exit 0 when the recorded
+// Run/Inst/Diverge classification reproduces, 1 when it does not.
+func runReplay(ctx context.Context, path string, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "blazes: verify:", err)
+		return exitError
+	}
+	tr, err := verify.DecodeTrace(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "blazes: verify:", err)
+		return exitError
+	}
+	res, err := verify.Replay(ctx, tr)
+	if err != nil {
+		fmt.Fprintln(stderr, "blazes: verify: replay:", err)
+		return exitError
+	}
+	if jsonOut {
+		out, err := verify.MarshalReplay(res)
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		fmt.Fprintln(stdout, string(out))
+	} else {
+		fmt.Fprintf(stdout, "trace: %s under %s/%s, %d seed(s), %d event(s), %d shrink step(s)\n",
+			tr.Workload, tr.Mechanism, tr.Plan.Name, len(tr.Seeds), len(tr.Events), tr.Steps)
+		fmt.Fprintf(stdout, "expected [%s] observed [%s]\n", res.Expected, res.Observed)
+		if res.Detail != "" {
+			fmt.Fprintf(stdout, "detail: %s\n", res.Detail)
+		}
+	}
+	if !res.Reproduced {
+		fmt.Fprintln(stderr, "blazes: verify: trace did not reproduce its recorded anomalies")
+		return exitError
+	}
+	if !jsonOut {
+		fmt.Fprintln(stdout, "reproduced")
+	}
+	return exitOK
+}
+
+// runCoordinated submits the sweep to a coordinator, streams progress to
+// stderr while worker processes drain it, and renders the merged result
+// exactly like a local run.
+func runCoordinated(ctx context.Context, coordinator string, workloads []string, seeds, batch int, sequencing bool, shrinkDir string, jsonOut bool, stdout, stderr io.Writer) int {
+	base := strings.TrimRight(coordinator, "/")
+	var st service.SweepStatus
+	err := postJSON(ctx, base+"/v1/sweeps", service.SweepSubmitRequest{
+		Workloads:  workloads,
+		Seeds:      seeds,
+		Sequencing: sequencing,
+		Shrink:     shrinkDir != "",
+		BatchSize:  batch,
+	}, &st)
+	if err != nil {
+		fmt.Fprintln(stderr, "blazes: verify:", err)
+		return exitError
+	}
+	fmt.Fprintf(stderr, "sweep %s: %d cells, %d batches, %d seeds — waiting for workers\n",
+		st.Sweep, st.Cells, st.Batches, st.SeedsTotal)
+
+	lastDone := -1
+	for st.State != "complete" {
+		sleepCtx(ctx, 300*time.Millisecond)
+		if ctx.Err() != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", ctx.Err())
+			return exitError
+		}
+		if err := getJSON(ctx, base+"/v1/sweeps/"+st.Sweep, &st); err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		if st.SeedsDone != lastDone || st.State == "shrinking" {
+			lastDone = st.SeedsDone
+			fmt.Fprintf(stderr, "sweep %s: %s %d/%d seeds\n", st.Sweep, st.State, st.SeedsDone, st.SeedsTotal)
+		}
+	}
+	if st.Error != "" {
+		fmt.Fprintf(stderr, "blazes: verify: sweep %s failed: %s\n", st.Sweep, st.Error)
+		return exitError
+	}
+	for _, msg := range st.ShrinkErrors {
+		fmt.Fprintf(stderr, "blazes: verify: shrink: %s\n", msg)
+	}
+	if err := writeTraces(shrinkDir, st.Traces, stderr); err != nil {
+		fmt.Fprintln(stderr, "blazes: verify:", err)
+		return exitError
+	}
+	if jsonOut {
+		out, err := verify.MarshalReports(st.Reports)
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		fmt.Fprintln(stdout, string(out))
+	} else {
+		for _, rep := range st.Reports {
+			fmt.Fprint(stdout, rep.Summary())
+		}
+	}
+	if st.Holds == nil || !*st.Holds {
+		fmt.Fprintln(stderr, "blazes: verify: guarantee violated")
+		return exitError
+	}
+	return exitOK
+}
+
+// writeTraces persists shrunk traces as self-contained artifacts named
+// <workload>-<mechanism>-<plan>.json.
+func writeTraces(dir string, traces []*verify.Trace, stderr io.Writer) error {
+	if dir == "" {
+		return nil
+	}
+	for _, tr := range traces {
+		data, err := tr.Encode()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s-%s.json", slug(tr.Workload), slug(tr.Mechanism), slug(tr.Plan.Name)))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "shrunk trace: %s (%d seed(s), %d event(s), %d step(s))\n",
+			path, len(tr.Seeds), len(tr.Events), tr.Steps)
+	}
+	return nil
+}
+
+// slug renders a name ("sequencing (M1)") filesystem-safe
+// ("sequencing-m1").
+func slug(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
 }
 
 func workloadNames() []string {

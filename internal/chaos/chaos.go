@@ -26,15 +26,15 @@ import (
 // service, when one is installed).
 type FaultPlan struct {
 	// Name labels the plan in reports.
-	Name string
+	Name string `json:"name"`
 	// DelaySpread widens each link's MaxDelay, increasing reordering.
-	DelaySpread sim.Time
+	DelaySpread sim.Time `json:"delay_spread,omitempty"`
 	// DupProb raises each link's duplicate-delivery probability to at
 	// least this value (at-least-once delivery).
-	DupProb float64
+	DupProb float64 `json:"dup_prob,omitempty"`
 	// Partitions cuts every link during these windows; messages sent
 	// while a window is open are buffered and flushed at heal time.
-	Partitions []sim.PartitionWindow
+	Partitions []sim.PartitionWindow `json:"partitions,omitempty"`
 }
 
 // Shape applies the plan to a link configuration.
@@ -71,10 +71,10 @@ type ReplicaOutcome struct {
 	// during the run (e.g. query answers keyed by request id). Workloads
 	// canonicalize entries so that only content — not delivery timing
 	// within one response — distinguishes traces.
-	Trace []string
+	Trace []string `json:"trace,omitempty"`
 	// Final is a canonical digest of the replica's terminal state (and,
 	// where the workload defines it, the answers it gives at quiescence).
-	Final string
+	Final string `json:"final"`
 }
 
 // Outcome is the observable result of one seeded run: one entry per
@@ -82,7 +82,7 @@ type ReplicaOutcome struct {
 // "ground truth" replica whose Final is the schedule-independent expected
 // result, so within-run comparison also checks exactness.
 type Outcome struct {
-	Replicas []ReplicaOutcome
+	Replicas []ReplicaOutcome `json:"replicas"`
 }
 
 // Anomalies records which of the paper's anomaly classes a sweep exhibited

@@ -3,6 +3,8 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"blazes/internal/dataflow"
 	"blazes/internal/sim"
@@ -38,7 +40,7 @@ type poolAware interface {
 // Config tunes a verification run.
 type Config struct {
 	// Seeds is the number of schedules explored per (mechanism, plan)
-	// configuration; 0 selects DefaultSeeds.
+	// configuration; 0 selects DefaultSeeds. Negative is an error.
 	Seeds int
 	// Plans is the fault-plan sweep; nil selects DefaultPlans.
 	Plans []FaultPlan
@@ -48,8 +50,22 @@ type Config struct {
 	// concurrently. Each seed runs on its own simulator and the oracle
 	// folds outcomes in seed order, so the verdict — anomalies, details,
 	// JSON report — is byte-identical to a sequential sweep. 0 or 1 keeps
-	// the sweep sequential; < 0 selects GOMAXPROCS.
+	// the sweep sequential; -1 selects GOMAXPROCS. Values below -1 are an
+	// error.
 	Parallelism int
+}
+
+// validate rejects configurations that previously slipped through
+// silently: Seeds and Parallelism are defaulted only at their documented
+// sentinel values (0, and -1 respectively), never for arbitrary negatives.
+func (cfg Config) validate() error {
+	if cfg.Seeds < 0 {
+		return fmt.Errorf("chaos: Seeds must be non-negative (got %d; 0 selects the default %d)", cfg.Seeds, DefaultSeeds)
+	}
+	if cfg.Parallelism < -1 {
+		return fmt.Errorf("chaos: Parallelism must be ≥ -1 (got %d; -1 selects one worker per CPU)", cfg.Parallelism)
+	}
+	return nil
 }
 
 // DefaultSeeds is the schedule count the acceptance bar demands per
@@ -111,67 +127,87 @@ func allowedAnomalies(mech dataflow.Coordination) Anomalies {
 	return Anomalies{}
 }
 
-// sweep explores cfg.Seeds schedules of one (mechanism, plan) cell. With a
-// pool, the seeded runs — each on its own simulator — execute concurrently;
-// the oracle then folds the outcomes in seed order, so the verdict is
-// byte-identical to the sequential sweep. Cancelling ctx stops the workers
-// at the next seed boundary and aborts the sweep.
-func sweep(ctx context.Context, w Workload, cfg Config, pool *sim.Pool, plan FaultPlan, mech dataflow.Coordination, confluent bool) (Sweep, error) {
-	outcomes := make([]Outcome, cfg.Seeds)
-	errs := make([]error, cfg.Seeds)
-	if err := pool.MapContext(ctx, cfg.Seeds, func(i int) {
-		outcomes[i], errs[i] = w.Run(int64(i+1), plan, mech)
-	}); err != nil {
-		return Sweep{}, fmt.Errorf("chaos: %s under %s/%s: %w", w.Name(), mech, plan.Name, err)
-	}
-	oracle := NewOracle(confluent)
-	for i, out := range outcomes {
-		if errs[i] != nil {
-			return Sweep{}, fmt.Errorf("chaos: %s under %s/%s seed %d: %w", w.Name(), mech, plan.Name, i+1, errs[i])
-		}
-		oracle.Observe(int64(i+1), out)
-	}
-	s := Sweep{
-		Mechanism: mech.String(),
-		Plan:      plan.Name,
-		Seeds:     cfg.Seeds,
-		Observed:  oracle.Anomalies(),
-		Allowed:   allowedAnomalies(mech),
-	}
-	s.OK = s.Observed.Within(s.Allowed)
-	if d := oracle.Details(); len(d) > 0 {
-		s.Detail = d[0]
-	}
-	return s, nil
+// coordinations enumerates every delivery mechanism in declaration order.
+var coordinations = []dataflow.Coordination{
+	dataflow.CoordNone,
+	dataflow.CoordSequenced,
+	dataflow.CoordDynamicOrder,
+	dataflow.CoordSealed,
 }
 
-// Check verifies the Blazes guarantee for one workload:
-//
-//  1. analyze the workload's dataflow and synthesize strategies;
-//  2. if the verdict is deterministic and no strategy is required
-//     (confluent), run the workload *without* coordination under every
-//     fault plan and assert eventual-outcome invariance across schedules;
-//  3. otherwise install each recommended mechanism the workload supports
-//     and assert the runs are outcome-invariant within Figure 5's
-//     allowance for that mechanism;
-//  4. strip the coordination and assert that at least one fault plan
-//     reproduces a detected divergence.
-//
-// Cancelling ctx aborts the check promptly: in-flight seeded runs finish,
-// queued ones never start, and Check returns the context's error.
-func Check(ctx context.Context, w Workload, cfg Config) (*Report, error) {
-	if cfg.Seeds <= 0 {
+// ParseCoordination resolves the canonical mechanism string (the
+// Coordination String form used in every Sweep and Cell) back to the
+// enum — the inverse every wire consumer (sweep workers, trace replay)
+// relies on.
+func ParseCoordination(s string) (dataflow.Coordination, error) {
+	for _, c := range coordinations {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	known := make([]string, len(coordinations))
+	for i, c := range coordinations {
+		known[i] = c.String()
+	}
+	return 0, fmt.Errorf("chaos: unknown coordination mechanism %q (mechanisms: %s)", s, strings.Join(known, ", "))
+}
+
+// Cell identifies one independently runnable sweep cell of a Check: a
+// (workload, mechanism, fault plan) configuration and the seed range
+// [1, Seeds] it explores. Cells are the unit of distribution — a cell's
+// seeds can be sharded across processes and the partial outcomes merged in
+// seed order without changing a byte of the verdict.
+type Cell struct {
+	// Workload names the workload (resolvable via LookupWorkload).
+	Workload string `json:"workload"`
+	// Mechanism is the canonical Coordination string (ParseCoordination
+	// inverts it).
+	Mechanism string `json:"mechanism"`
+	// Plan is the fault plan shaping every link.
+	Plan FaultPlan `json:"plan"`
+	// Seeds is the schedule count; the cell explores seeds 1..Seeds.
+	Seeds int `json:"seeds"`
+	// Confluent selects the oracle's eventual-outcome-only comparison
+	// (bare runs of certified-confluent programs).
+	Confluent bool `json:"confluent,omitempty"`
+	// Stripped marks a divergence-reproduction sweep: coordination removed,
+	// observed anomalies documented rather than held to an allowance.
+	Stripped bool `json:"stripped,omitempty"`
+}
+
+// CheckPlan is the execution plan of one Check: the analyzer's verdict and
+// the ordered cells to sweep. PlanCheck derives it; FoldCell turns each
+// cell's outcomes into its Sweep; Assemble reassembles the Report. Check
+// itself is exactly plan → run → fold → assemble, so any other executor
+// (the distributed sweep coordinator) that preserves cell order and
+// seed-ordered folding produces byte-identical reports.
+type CheckPlan struct {
+	// Workload is the planned workload.
+	Workload Workload
+	// Verdict, Deterministic, Strategies mirror the Report header.
+	Verdict       string
+	Deterministic bool
+	Strategies    []string
+	// Cells lists the sweeps to run, coordinated cells first, stripped
+	// cells last, in the exact order Check appends them.
+	Cells []Cell
+	// VacuousReproduction marks plans with nothing to strip (confluent
+	// programs, or workloads that cannot run uncoordinated):
+	// DivergenceReproduced is vacuously true.
+	VacuousReproduction bool
+}
+
+// PlanCheck analyzes the workload's dataflow, synthesizes coordination and
+// lays out the sweep cells Check would run, without running any of them.
+func PlanCheck(w Workload, cfg Config) (*CheckPlan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Seeds == 0 {
 		cfg.Seeds = DefaultSeeds
 	}
 	if cfg.Plans == nil {
 		cfg.Plans = DefaultPlans()
-	}
-	var pool *sim.Pool
-	if cfg.Parallelism != 0 && cfg.Parallelism != 1 {
-		pool = sim.NewPool(cfg.Parallelism)
-	}
-	if pa, ok := w.(poolAware); ok {
-		pa.setPool(pool)
 	}
 	g, err := w.Graph()
 	if err != nil {
@@ -181,8 +217,8 @@ func Check(ctx context.Context, w Workload, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %s: analyze: %w", w.Name(), err)
 	}
-	rep := &Report{
-		Workload:      w.Name(),
+	p := &CheckPlan{
+		Workload:      w,
 		Verdict:       an.Verdict.String(),
 		Deterministic: an.Deterministic(),
 	}
@@ -201,7 +237,7 @@ func Check(ctx context.Context, w Workload, cfg Config) (*Report, error) {
 	} else {
 		seen := map[dataflow.Coordination]bool{}
 		for _, st := range strategies {
-			rep.Strategies = append(rep.Strategies, st.String())
+			p.Strategies = append(p.Strategies, st.String())
 			if st.Mechanism == dataflow.CoordNone || seen[st.Mechanism] {
 				continue
 			}
@@ -212,42 +248,126 @@ func Check(ctx context.Context, w Workload, cfg Config) (*Report, error) {
 		}
 		if len(mechs) == 0 {
 			return nil, fmt.Errorf("chaos: %s: analyzer recommends %v but the workload supports none of it",
-				w.Name(), rep.Strategies)
+				w.Name(), p.Strategies)
 		}
 	}
 
 	for _, mech := range mechs {
 		for _, plan := range cfg.Plans {
-			s, err := sweep(ctx, w, cfg, pool, plan, mech, bare)
-			if err != nil {
-				return nil, err
-			}
-			rep.Coordinated = append(rep.Coordinated, s)
+			p.Cells = append(p.Cells, Cell{
+				Workload:  w.Name(),
+				Mechanism: mech.String(),
+				Plan:      plan,
+				Seeds:     cfg.Seeds,
+				Confluent: bare,
+			})
 		}
 	}
-
 	if bare || !w.Supports(dataflow.CoordNone) {
 		// Nothing to strip: either the program is confluent, or the
 		// workload cannot run uncoordinated — the reproduction half of
 		// the check is vacuous and must not fail the verdict.
-		rep.DivergenceReproduced = true
+		p.VacuousReproduction = true
 	} else {
 		for _, plan := range cfg.Plans {
-			s, err := sweep(ctx, w, cfg, pool, plan, dataflow.CoordNone, false)
-			if err != nil {
-				return nil, err
-			}
-			// Stripped sweeps document what went wrong, they are not
-			// held to an allowance.
-			s.Allowed = Anomalies{Run: true, Inst: true, Diverge: true}
-			s.OK = true
+			p.Cells = append(p.Cells, Cell{
+				Workload:  w.Name(),
+				Mechanism: dataflow.CoordNone.String(),
+				Plan:      plan,
+				Seeds:     cfg.Seeds,
+				Stripped:  true,
+			})
+		}
+	}
+	return p, nil
+}
+
+// RunCell executes one cell's seeds in [from, to) (1-based, to exclusive)
+// and returns one Outcome per seed in seed order. With a pool the seeded
+// runs — each on its own simulator — execute concurrently; outcomes land
+// at their seed's index, so the result is byte-identical to a sequential
+// run. Cancelling ctx stops the workers at the next seed boundary.
+func RunCell(ctx context.Context, w Workload, cell Cell, pool *sim.Pool, from, to int) ([]Outcome, error) {
+	mech, err := ParseCoordination(cell.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	if from < 1 || to > cell.Seeds+1 || from > to {
+		return nil, fmt.Errorf("chaos: %s under %s/%s: seed range [%d, %d) outside [1, %d]",
+			cell.Workload, cell.Mechanism, cell.Plan.Name, from, to, cell.Seeds)
+	}
+	n := to - from
+	outcomes := make([]Outcome, n)
+	errs := make([]error, n)
+	if err := pool.MapContext(ctx, n, func(i int) {
+		outcomes[i], errs[i] = w.Run(int64(from+i), cell.Plan, mech)
+	}); err != nil {
+		return nil, fmt.Errorf("chaos: %s under %s/%s: %w", w.Name(), cell.Mechanism, cell.Plan.Name, err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %s under %s/%s seed %d: %w", w.Name(), cell.Mechanism, cell.Plan.Name, from+i, err)
+		}
+	}
+	return outcomes, nil
+}
+
+// FoldCell merges a cell's per-seed outcomes — outcomes[i] is seed i+1 —
+// through the confluence oracle in seed order and renders the cell's Sweep
+// verdict. The fold is pure and deterministic: however the outcomes were
+// produced (one process, a pool, or many worker processes), equal outcomes
+// yield a byte-identical Sweep.
+func FoldCell(cell Cell, outcomes []Outcome) Sweep {
+	oracle := NewOracle(cell.Confluent)
+	for i, out := range outcomes {
+		oracle.Observe(int64(i+1), out)
+	}
+	s := Sweep{
+		Mechanism: cell.Mechanism,
+		Plan:      cell.Plan.Name,
+		Seeds:     cell.Seeds,
+		Observed:  oracle.Anomalies(),
+	}
+	if cell.Stripped {
+		// Stripped sweeps document what went wrong, they are not held to
+		// an allowance.
+		s.Allowed = Anomalies{Run: true, Inst: true, Diverge: true}
+		s.OK = true
+	} else {
+		mech, err := ParseCoordination(cell.Mechanism)
+		if err == nil {
+			s.Allowed = allowedAnomalies(mech)
+		}
+		s.OK = s.Observed.Within(s.Allowed)
+	}
+	if d := oracle.Details(); len(d) > 0 {
+		s.Detail = d[0]
+	}
+	return s
+}
+
+// Assemble rebuilds the Report from one Sweep per cell, in cell order.
+func (p *CheckPlan) Assemble(sweeps []Sweep) (*Report, error) {
+	if len(sweeps) != len(p.Cells) {
+		return nil, fmt.Errorf("chaos: %s: %d sweeps for %d cells", p.Workload.Name(), len(sweeps), len(p.Cells))
+	}
+	rep := &Report{
+		Workload:      p.Workload.Name(),
+		Verdict:       p.Verdict,
+		Deterministic: p.Deterministic,
+		Strategies:    p.Strategies,
+	}
+	rep.DivergenceReproduced = p.VacuousReproduction
+	for i, s := range sweeps {
+		if p.Cells[i].Stripped {
 			rep.Uncoordinated = append(rep.Uncoordinated, s)
 			if s.Observed.Any() {
 				rep.DivergenceReproduced = true
 			}
+		} else {
+			rep.Coordinated = append(rep.Coordinated, s)
 		}
 	}
-
 	rep.Holds = rep.DivergenceReproduced
 	for _, s := range rep.Coordinated {
 		if !s.OK {
@@ -255,6 +375,133 @@ func Check(ctx context.Context, w Workload, cfg Config) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// Check verifies the Blazes guarantee for one workload:
+//
+//  1. analyze the workload's dataflow and synthesize strategies;
+//  2. if the verdict is deterministic and no strategy is required
+//     (confluent), run the workload *without* coordination under every
+//     fault plan and assert eventual-outcome invariance across schedules;
+//  3. otherwise install each recommended mechanism the workload supports
+//     and assert the runs are outcome-invariant within Figure 5's
+//     allowance for that mechanism;
+//  4. strip the coordination and assert that at least one fault plan
+//     reproduces a detected divergence.
+//
+// Cancelling ctx aborts the check promptly: in-flight seeded runs finish,
+// queued ones never start, and Check returns the context's error.
+func Check(ctx context.Context, w Workload, cfg Config) (*Report, error) {
+	rep, _, err := check(ctx, w, cfg, false)
+	return rep, err
+}
+
+// CheckShrink is Check plus anomaly shrinking: every cell whose sweep
+// observed an anomaly — in practice the stripped divergence-reproduction
+// sweeps — is delta-debugged down to a 1-minimal replayable Trace. Traces
+// are returned in cell order.
+func CheckShrink(ctx context.Context, w Workload, cfg Config) (*Report, []*Trace, error) {
+	rep, outcomes, err := check(ctx, w, cfg, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := PlanCheck(w, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var traces []*Trace
+	for i, cell := range plan.Cells {
+		if !FoldCell(cell, outcomes[i]).Observed.Any() {
+			continue
+		}
+		tr, err := ShrinkCell(ctx, w, cell, outcomes[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("chaos: shrink %s under %s/%s: %w", cell.Workload, cell.Mechanism, cell.Plan.Name, err)
+		}
+		traces = append(traces, tr)
+	}
+	return rep, traces, nil
+}
+
+// check is the shared execution path: plan, run every cell, fold, assemble.
+// With keep it also returns the raw per-cell outcomes (for shrinking).
+func check(ctx context.Context, w Workload, cfg Config, keep bool) (*Report, [][]Outcome, error) {
+	plan, err := PlanCheck(w, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pool *sim.Pool
+	if cfg.Parallelism != 0 && cfg.Parallelism != 1 {
+		pool = sim.NewPool(cfg.Parallelism)
+	}
+	if pa, ok := w.(poolAware); ok {
+		pa.setPool(pool)
+	}
+	sweeps := make([]Sweep, len(plan.Cells))
+	var kept [][]Outcome
+	if keep {
+		kept = make([][]Outcome, len(plan.Cells))
+	}
+	for i, cell := range plan.Cells {
+		outcomes, err := RunCell(ctx, w, cell, pool, 1, cell.Seeds+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		sweeps[i] = FoldCell(cell, outcomes)
+		if keep {
+			kept[i] = outcomes
+		}
+	}
+	rep, err := plan.Assemble(sweeps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, kept, nil
+}
+
+// Suite returns the standard verification workloads, covering the Storm,
+// Bloom, and synthetic substrates and every Figure 5 mechanism.
+func Suite() []Workload {
+	return []Workload{
+		Wordcount(),
+		ReplicatedReport(dataflow.THRESH),
+		ReplicatedReport(dataflow.POOR),
+		ReplicatedReport(dataflow.CAMPAIGN),
+		AdNetwork(),
+		SyntheticSet(),
+		SyntheticChains(true),
+		SyntheticChains(false),
+	}
+}
+
+// LookupWorkload resolves a workload name to a fresh workload instance:
+// the Suite workloads by their fixed names, plus generated topology
+// workloads whose name encodes their configuration
+// ("generated-<components>c-s<seed>"), so any process holding only a name
+// — a sweep worker, a trace replayer — reconstructs the exact system under
+// test.
+func LookupWorkload(name string) (Workload, error) {
+	for _, w := range Suite() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "generated-"); ok {
+		compStr, seedStr, found := strings.Cut(rest, "c-s")
+		if found {
+			components, err1 := strconv.Atoi(compStr)
+			seed, err2 := strconv.ParseInt(seedStr, 10, 64)
+			if err1 == nil && err2 == nil && components > 0 {
+				return Generated(components, seed), nil
+			}
+		}
+		return nil, fmt.Errorf("chaos: malformed generated workload name %q (want generated-<components>c-s<seed>)", name)
+	}
+	names := make([]string, 0, len(Suite()))
+	for _, w := range Suite() {
+		names = append(names, w.Name())
+	}
+	return nil, fmt.Errorf("chaos: unknown workload %q (workloads: %s, generated-<n>c-s<seed>)", name, strings.Join(names, ", "))
 }
 
 // Summary renders a one-paragraph human-readable account of the report.

@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SweepState is the coordinator's ledger for one distributed check: the
+// planned cells split into claimable seed-range batches, the partial
+// outcomes reported so far, and the claim bookkeeping that makes the sweep
+// resumable — a batch claimed by a worker that dies is re-issued once its
+// claim expires, and duplicate reports (a slow worker racing the re-issued
+// claim) are resolved first-report-wins, so every seed's outcome is
+// recorded exactly once and the fold stays deterministic.
+//
+// Time is injected (an int64 the caller defines, e.g. Unix milliseconds):
+// the chaos package stays deterministic and testable; the service supplies
+// real time at its edge.
+type SweepState struct {
+	mu      sync.Mutex
+	cells   []Cell
+	batches []Batch
+	state   []batchState
+	// outcomes[c][i] is seed i+1 of cell c; have[c][i] marks it recorded.
+	outcomes [][]Outcome
+	have     [][]bool
+	// remaining[c] counts the cell's unreported batches; cellsLeft counts
+	// cells with remaining > 0.
+	remaining []int
+	cellsLeft int
+	claimTTL  int64
+}
+
+// Batch is one claimable unit of work: a contiguous seed range of one
+// cell.
+type Batch struct {
+	// ID indexes the batch within the sweep.
+	ID int `json:"id"`
+	// Cell indexes the sweep's cell list.
+	Cell int `json:"cell"`
+	// SeedFrom/SeedTo bound the half-open seed range [SeedFrom, SeedTo).
+	SeedFrom int `json:"seed_from"`
+	SeedTo   int `json:"seed_to"`
+}
+
+type batchState struct {
+	done         bool
+	claimedUntil int64
+	worker       string
+}
+
+// NewSweepState lays out the cells' seed ranges into batches of at most
+// batchSize seeds (0 selects 256) and returns the empty ledger. claimTTL
+// is the claim lease duration in the caller's time unit; 0 means claims
+// never expire (single-worker or trusted-worker mode).
+//
+//lint:allow ctxflow constructor of an in-memory ledger; it runs no schedules, so there is nothing to cancel
+func NewSweepState(cells []Cell, batchSize int, claimTTL int64) *SweepState {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	st := &SweepState{
+		cells:     cells,
+		outcomes:  make([][]Outcome, len(cells)),
+		have:      make([][]bool, len(cells)),
+		remaining: make([]int, len(cells)),
+		claimTTL:  claimTTL,
+	}
+	for c, cell := range cells {
+		st.outcomes[c] = make([]Outcome, cell.Seeds)
+		st.have[c] = make([]bool, cell.Seeds)
+		for from := 1; from <= cell.Seeds; from += batchSize {
+			to := from + batchSize
+			if to > cell.Seeds+1 {
+				to = cell.Seeds + 1
+			}
+			st.batches = append(st.batches, Batch{ID: len(st.batches), Cell: c, SeedFrom: from, SeedTo: to})
+			st.remaining[c]++
+		}
+		if st.remaining[c] > 0 {
+			st.cellsLeft++
+		}
+	}
+	st.state = make([]batchState, len(st.batches))
+	return st
+}
+
+// Cells returns the sweep's cells (shared slice; callers must not mutate).
+func (st *SweepState) Cells() []Cell { return st.cells }
+
+// Batches returns the total batch count.
+func (st *SweepState) Batches() int { return len(st.batches) }
+
+// Claim leases up to max unfinished, unclaimed (or claim-expired) batches
+// to worker, in batch order, until now+TTL. An empty result with Done()
+// false means every remaining batch is currently leased — the worker
+// should poll again.
+func (st *SweepState) Claim(now int64, worker string, max int) []Batch {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if max <= 0 {
+		max = 1
+	}
+	var out []Batch
+	for i := range st.batches {
+		if len(out) >= max {
+			break
+		}
+		bs := &st.state[i]
+		if bs.done {
+			continue
+		}
+		if bs.claimedUntil != 0 && (st.claimTTL == 0 || bs.claimedUntil > now) {
+			continue
+		}
+		until := now + st.claimTTL
+		if st.claimTTL == 0 {
+			until = 1 // leased forever; never re-issued
+		}
+		bs.claimedUntil = until
+		bs.worker = worker
+		out = append(out, st.batches[i])
+	}
+	return out
+}
+
+// Report records a batch's outcomes (one per seed of its range, in seed
+// order). Duplicate reports are ignored — first report wins. It returns
+// the index of the cell the batch completed, or -1 if the cell (or the
+// batch) is still open.
+func (st *SweepState) Report(id int, outcomes []Outcome) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id < 0 || id >= len(st.batches) {
+		return -1, fmt.Errorf("chaos: sweep: unknown batch %d", id)
+	}
+	b := st.batches[id]
+	if got, want := len(outcomes), b.SeedTo-b.SeedFrom; got != want {
+		return -1, fmt.Errorf("chaos: sweep: batch %d wants %d outcomes, got %d", id, want, got)
+	}
+	if st.state[id].done {
+		return -1, nil
+	}
+	st.state[id].done = true
+	for i, out := range outcomes {
+		seed := b.SeedFrom + i
+		st.outcomes[b.Cell][seed-1] = out
+		st.have[b.Cell][seed-1] = true
+	}
+	st.remaining[b.Cell]--
+	if st.remaining[b.Cell] == 0 {
+		st.cellsLeft--
+		return b.Cell, nil
+	}
+	return -1, nil
+}
+
+// Done reports whether every batch has been reported.
+func (st *SweepState) Done() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cellsLeft == 0
+}
+
+// Progress returns reported and total seed counts across all cells.
+func (st *SweepState) Progress() (done, total int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for c := range st.cells {
+		total += len(st.have[c])
+		for _, ok := range st.have[c] {
+			if ok {
+				done++
+			}
+		}
+	}
+	return done, total
+}
+
+// CellOutcomes returns cell c's outcomes in seed order, or an error while
+// any of its batches is unreported.
+func (st *SweepState) CellOutcomes(c int) ([]Outcome, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if c < 0 || c >= len(st.cells) {
+		return nil, fmt.Errorf("chaos: sweep: unknown cell %d", c)
+	}
+	if st.remaining[c] != 0 {
+		return nil, fmt.Errorf("chaos: sweep: cell %d has %d unreported batches", c, st.remaining[c])
+	}
+	return st.outcomes[c], nil
+}
+
+// Sweeps folds every cell in cell order — the merge a single-process Check
+// performs — and is only valid once Done.
+//
+//lint:allow ctxflow pure in-memory fold over already-recorded outcomes; no schedules run here
+func (st *SweepState) Sweeps() ([]Sweep, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cellsLeft != 0 {
+		return nil, fmt.Errorf("chaos: sweep: %d cells unfinished", st.cellsLeft)
+	}
+	sweeps := make([]Sweep, len(st.cells))
+	for c, cell := range st.cells {
+		sweeps[c] = FoldCell(cell, st.outcomes[c])
+	}
+	return sweeps, nil
+}

@@ -6,7 +6,8 @@ package sim
 // harness injects. Messages already in flight when the window opens are
 // unaffected (they left the sender before the cut).
 type PartitionWindow struct {
-	From, Until Time
+	From  Time `json:"from"`
+	Until Time `json:"until"`
 }
 
 // Contains reports whether t falls inside the window.

@@ -33,6 +33,11 @@
 //	POST   /v1/sessions/{id}/analyze incremental (re-)analysis → Report v2
 //	DELETE /v1/sessions/{id}         close a session
 //	POST   /v1/verify                run schedule-exploration verification
+//	POST   /v1/sweeps                submit a distributed verification sweep
+//	GET    /v1/sweeps                list sweeps
+//	GET    /v1/sweeps/{id}           sweep status (+ reports/traces when done)
+//	POST   /v1/sweeps/{id}/claim     worker: lease seed-range batches
+//	POST   /v1/sweeps/{id}/report    worker: report a batch's outcomes
 //	GET    /v1/stats                 load/durability/latency statistics
 //	GET    /healthz                  liveness + session count
 package service
@@ -95,6 +100,11 @@ type Options struct {
 	// QueueTimeout caps the wait for a slot; a request still queued when
 	// it fires sheds with 429. 0 selects DefaultQueueTimeout.
 	QueueTimeout time.Duration
+
+	// SweepClaimTTL is the lease duration for sweep batches claimed by
+	// workers; an expired claim is re-issued to another worker. 0 selects
+	// DefaultSweepClaimTTL.
+	SweepClaimTTL time.Duration
 }
 
 // Server hosts analysis sessions. Create one with New (in-memory) or Open
@@ -139,6 +149,21 @@ type Server struct {
 	mutateLat        latencyHist
 	analyzeLat       latencyHist
 	verifyLat        latencyHist
+
+	// Sweep coordination (in-memory; sweeps are not journaled — a sweep
+	// is a computation, not acknowledged durable state). See sweeps.go.
+	sweepMu     sync.Mutex
+	sweeps      map[string]*sweepJob
+	sweepOrder  []string
+	nextSweepID int
+	sweepTTL    time.Duration
+
+	sweepsSubmitted      atomic.Uint64
+	sweepsCompleted      atomic.Uint64
+	sweepBatchesClaimed  atomic.Uint64
+	sweepBatchesReported atomic.Uint64
+	sweepTracesShrunk    atomic.Uint64
+	sweepLat             latencyHist
 }
 
 type entry struct {
@@ -184,6 +209,10 @@ func New(opts Options) *Server {
 	if snapEvery <= 0 {
 		snapEvery = DefaultSnapshotEvery
 	}
+	sweepTTL := opts.SweepClaimTTL
+	if sweepTTL <= 0 {
+		sweepTTL = DefaultSweepClaimTTL
+	}
 	s := &Server{
 		max:         max,
 		byID:        map[string]*entry{},
@@ -192,6 +221,8 @@ func New(opts Options) *Server {
 		snapEvery:   snapEvery,
 		gate:        newGate(maxConc, maxQueue, queueTimeout),
 		recoveredCh: make(chan struct{}),
+		sweeps:      map[string]*sweepJob{},
+		sweepTTL:    sweepTTL,
 	}
 	close(s.recoveredCh) // nothing to recover
 	return s
@@ -256,6 +287,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/lint", s.handleLint)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("POST /v1/sweeps/{id}/claim", s.handleSweepClaim)
+	mux.HandleFunc("POST /v1/sweeps/{id}/report", s.handleSweepReport)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -839,6 +875,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Seeds < 0 {
 		writeError(w, http.StatusBadRequest, "seeds must be non-negative")
+		return
+	}
+	if req.Parallelism < -1 {
+		writeError(w, http.StatusBadRequest, "parallelism must be ≥ -1 (-1 selects one worker per CPU)")
 		return
 	}
 	suite := verify.Workloads()

@@ -135,8 +135,24 @@ type StatsResponse struct {
 
 	Admission AdmissionStats `json:"admission"`
 
+	// Sweeps reports the distributed-verification coordinator's counters.
+	Sweeps SweepStats `json:"sweeps"`
+
 	// Latency maps endpoint → summary for the gated endpoints.
 	Latency map[string]LatencySummary `json:"latency"`
+}
+
+// SweepStats counts sweep-coordinator activity this process.
+type SweepStats struct {
+	// Active is the number of submitted sweeps not yet complete.
+	Active          int    `json:"active"`
+	Submitted       uint64 `json:"submitted"`
+	Completed       uint64 `json:"completed"`
+	BatchesClaimed  uint64 `json:"batches_claimed"`
+	BatchesReported uint64 `json:"batches_reported"`
+	// TracesShrunk counts anomalous cells successfully delta-debugged to
+	// replayable traces.
+	TracesShrunk uint64 `json:"traces_shrunk"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -156,13 +172,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ReplayErrors:      s.replayErrors.Load(),
 		JournalBroken:     s.journalBroken.Load(),
 		Admission:         s.gate.stats(),
+		Sweeps: SweepStats{
+			Submitted:       s.sweepsSubmitted.Load(),
+			Completed:       s.sweepsCompleted.Load(),
+			BatchesClaimed:  s.sweepBatchesClaimed.Load(),
+			BatchesReported: s.sweepBatchesReported.Load(),
+			TracesShrunk:    s.sweepTracesShrunk.Load(),
+		},
 		Latency: map[string]LatencySummary{
 			"create":  s.createLat.summary(),
 			"mutate":  s.mutateLat.summary(),
 			"analyze": s.analyzeLat.summary(),
 			"verify":  s.verifyLat.summary(),
+			"sweep":   s.sweepLat.summary(),
 		},
 	}
+	resp.Sweeps.Active = int(resp.Sweeps.Submitted - resp.Sweeps.Completed)
 	resp.Admission.ReadOnlyRejected = s.readOnlyRejected.Load()
 	if s.jrn != nil {
 		st := s.jrn.Stats()

@@ -116,19 +116,9 @@ func SyntheticSet() Workload { return chaos.SyntheticSet() }
 func SyntheticChains(gated bool) Workload { return chaos.SyntheticChains(gated) }
 
 // Workloads returns the standard verification suite, covering the Storm,
-// Bloom, and synthetic substrates and every Figure 5 mechanism.
-func Workloads() []Workload {
-	return []Workload{
-		Wordcount(),
-		ReplicatedReport(blazes.THRESH),
-		ReplicatedReport(blazes.POOR),
-		ReplicatedReport(blazes.CAMPAIGN),
-		AdNetwork(),
-		SyntheticSet(),
-		SyntheticChains(true),
-		SyntheticChains(false),
-	}
-}
+// Bloom, and synthetic substrates and every Figure 5 mechanism. Every
+// member's name resolves through LookupWorkload.
+func Workloads() []Workload { return chaos.Suite() }
 
 // MarshalReports renders reports as indented JSON (a stable array, one
 // element per workload).
