@@ -19,6 +19,7 @@ type config struct {
 	sealRepairs      []sealRepair
 	variants         map[string]string
 	preferSequencing bool
+	strategy         string
 }
 
 func buildConfig(opts []Option) config {
@@ -46,6 +47,17 @@ func WithSealRepair(stream string, key ...string) Option {
 // which needs cross-run determinism.
 func PreferSequencing() Option {
 	return func(c *config) { c.preferSequencing = true }
+}
+
+// WithStrategy asks synthesis to try the named registered coordination
+// strategy first, before the default sealing-then-ordering chain. The
+// strategy still only applies where its preconditions hold (e.g.
+// "merge-rewrite" needs a declared merge); otherwise synthesis falls back
+// to the defaults, so the guarantee never weakens. Registered names are
+// listed by the blazes/strategy package; an unknown name is an error at
+// analysis time.
+func WithStrategy(name string) Option {
+	return func(c *config) { c.strategy = name }
 }
 
 // WithVariant selects a named annotation variant for a component when a
@@ -85,9 +97,14 @@ func NewAnalyzer(opts ...Option) *Analyzer {
 	return &Analyzer{cfg: buildConfig(opts)}
 }
 
-// prepare applies seal repairs to a copy of g (or returns g unchanged when
-// there are none).
+// prepare validates the configured strategy and applies seal repairs to a
+// copy of g (or returns g unchanged when there are none).
 func (a *Analyzer) prepare(g *Graph) (*Graph, error) {
+	if a.cfg.strategy != "" {
+		if _, err := dataflow.LookupStrategy(a.cfg.strategy); err != nil {
+			return nil, fmt.Errorf("blazes: %w", err)
+		}
+	}
 	if len(a.cfg.sealRepairs) == 0 {
 		return g, nil
 	}
@@ -106,7 +123,7 @@ func (a *Analyzer) prepare(g *Graph) (*Graph, error) {
 }
 
 func (a *Analyzer) synthOpts() dataflow.SynthesisOptions {
-	return dataflow.SynthesisOptions{PreferSequencing: a.cfg.preferSequencing}
+	return dataflow.SynthesisOptions{PreferSequencing: a.cfg.preferSequencing, Strategy: a.cfg.strategy}
 }
 
 // Analyze derives a label for every stream and the dataflow verdict.

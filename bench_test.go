@@ -74,6 +74,42 @@ func BenchmarkFullReanalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesize measures strategy synthesis through the registry
+// dispatch (defaultChain + per-component Plan calls). The registry
+// replaced a hard-coded switch; this pins that the indirection is within
+// noise of the analysis it rides on — synthesis is a rounding error next
+// to Analyze.
+func BenchmarkSynthesize(b *testing.B) {
+	g := dataflow.AdNetwork(dataflow.CAMPAIGN, "campaign")
+	an, err := dataflow.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sts := dataflow.Synthesize(an, dataflow.SynthesisOptions{}); len(sts) == 0 {
+			b.Fatal("no strategies")
+		}
+	}
+}
+
+// BenchmarkSynthesizePreferred is BenchmarkSynthesize with a preferred
+// strategy prepended to the chain — the worst-case dispatch (registry
+// lookup plus one extra declined Plan call per component).
+func BenchmarkSynthesizePreferred(b *testing.B) {
+	g := dataflow.AdNetwork(dataflow.CAMPAIGN, "campaign")
+	an, err := dataflow.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sts := dataflow.Synthesize(an, dataflow.SynthesisOptions{Strategy: dataflow.StrategyQuorumOrdering}); len(sts) == 0 {
+			b.Fatal("no strategies")
+		}
+	}
+}
+
 // BenchmarkFig5AnomalyMatrix regenerates the Figure 5 anomaly/remediation
 // matrix (3 properties × 4 mechanisms, multi-seed).
 func BenchmarkFig5AnomalyMatrix(b *testing.B) {

@@ -124,12 +124,16 @@ type Strategy = dataflow.Strategy
 // Coordination enumerates the delivery mechanisms of Figure 5.
 type Coordination = dataflow.Coordination
 
-// The delivery mechanisms of Figure 5.
+// The delivery mechanisms of Figure 5, plus the mechanisms installed by
+// registered strategies (see the blazes/strategy package).
 const (
-	CoordNone         = dataflow.CoordNone
-	CoordSequenced    = dataflow.CoordSequenced
-	CoordDynamicOrder = dataflow.CoordDynamicOrder
-	CoordSealed       = dataflow.CoordSealed
+	CoordNone            = dataflow.CoordNone
+	CoordSequenced       = dataflow.CoordSequenced
+	CoordDynamicOrder    = dataflow.CoordDynamicOrder
+	CoordSealed          = dataflow.CoordSealed
+	CoordQuorumOrder     = dataflow.CoordQuorumOrder
+	CoordMergeRewrite    = dataflow.CoordMergeRewrite
+	CoordPartitionSealed = dataflow.CoordPartitionSealed
 )
 
 // AdQuery selects which continuous query (Figure 6) the paper's reporting

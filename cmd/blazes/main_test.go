@@ -124,6 +124,8 @@ func TestExitCodeContract(t *testing.T) {
 		{"verify-unknown-workload", []string{"verify", "-workload", "nope"}, exitUsage, "unknown workload"},
 		{"verify-bad-seeds", []string{"verify", "-seeds", "0"}, exitUsage, "-seeds must be positive"},
 		{"verify-stray-args", []string{"verify", "extra"}, exitUsage, "unexpected arguments"},
+		{"verify-unknown-strategy", []string{"verify", "-strategy", "nope"}, exitUsage, "unknown strategy"},
+		{"verify-replay-reshrink-conflict", []string{"verify", "-replay", "x.json", "-reshrink", "dir"}, exitUsage, "cannot be combined"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

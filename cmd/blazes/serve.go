@@ -15,6 +15,8 @@
 //	                     replay it on boot (durable mode; default off)
 //	-snapshot-every n    journal records between snapshot compactions
 //	                     (default 1024; needs -journal)
+//	-journal-segment-bytes n  rotate wal segments once they reach n bytes
+//	                     (default 0 = rotate only on snapshots; needs -journal)
 //	-max-concurrent n    admitted create/mutate/analyze/verify requests
 //	                     running at once (default GOMAXPROCS)
 //	-max-queue n         requests waiting for admission beyond which the
@@ -73,6 +75,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 
 		journalDir    = fs.String("journal", "", "journal directory for durable mode (empty = in-memory)")
 		snapshotEvery = fs.Int("snapshot-every", service.DefaultSnapshotEvery, "journal records between snapshots (needs -journal)")
+		segmentBytes  = fs.Int64("journal-segment-bytes", 0, "rotate wal segments at this size; 0 = only on snapshots (needs -journal)")
 
 		maxConcurrent = fs.Int("max-concurrent", 0, "admitted expensive requests at once (0 = GOMAXPROCS)")
 		maxQueue      = fs.Int("max-queue", service.DefaultMaxQueue, "admission queue bound; beyond it requests shed with 429")
@@ -103,19 +106,20 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		fs.Usage()
 		return exitUsage
 	}
-	if *maxConcurrent < 0 || *maxQueue < 0 || *snapshotEvery < 0 {
-		fmt.Fprintf(stderr, "blazes: serve: -max-concurrent, -max-queue and -snapshot-every must be non-negative\n")
+	if *maxConcurrent < 0 || *maxQueue < 0 || *snapshotEvery < 0 || *segmentBytes < 0 {
+		fmt.Fprintf(stderr, "blazes: serve: -max-concurrent, -max-queue, -snapshot-every and -journal-segment-bytes must be non-negative\n")
 		fs.Usage()
 		return exitUsage
 	}
 
 	svc, err := service.Open(service.Options{
-		MaxSessions:   *maxSessions,
-		JournalDir:    *journalDir,
-		SnapshotEvery: *snapshotEvery,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		QueueTimeout:  *queueTimeout,
+		MaxSessions:         *maxSessions,
+		JournalDir:          *journalDir,
+		SnapshotEvery:       *snapshotEvery,
+		JournalSegmentBytes: *segmentBytes,
+		MaxConcurrent:       *maxConcurrent,
+		MaxQueue:            *maxQueue,
+		QueueTimeout:        *queueTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "blazes: serve: %v\n", err)

@@ -48,6 +48,96 @@ func TestGoldenShrinkTrace(t *testing.T) {
 	}
 }
 
+// TestReshrinkCorpus: `blazes verify -reshrink` re-minimizes an existing
+// trace corpus in place without re-running the sweep — already-minimal
+// traces come back unchanged (ddmin is deterministic and idempotent), the
+// rewritten files still replay, and a stale trace whose recorded
+// classification no longer reproduces fails the command while the other
+// files are still processed.
+func TestReshrinkCorpus(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := exec(t, "verify", "-workload", "synthetic-chains", "-seeds", "8", "-shrink", dir)
+	if code != exitOK {
+		t.Fatalf("shrink setup failed: %d %s", code, stderr)
+	}
+	traces, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(traces) == 0 {
+		t.Fatal("no traces to reshrink")
+	}
+	before := map[string]*verify.Trace{}
+	for _, path := range traces {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := verify.DecodeTrace(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[path] = tr
+	}
+
+	code, stdout, stderr := exec(t, "verify", "-reshrink", dir)
+	if code != exitOK {
+		t.Fatalf("verify -reshrink: code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, path := range traces {
+		if !strings.Contains(stdout, path) {
+			t.Errorf("reshrink output does not mention %s:\n%s", path, stdout)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := verify.DecodeTrace(data)
+		if err != nil {
+			t.Fatalf("reshrunk %s no longer decodes: %v", path, err)
+		}
+		if len(tr.Events) != len(before[path].Events) || len(tr.Seeds) != len(before[path].Seeds) {
+			t.Errorf("%s: reshrinking a 1-minimal trace changed it: %d events/%d seeds → %d/%d",
+				path, len(before[path].Events), len(before[path].Seeds), len(tr.Events), len(tr.Seeds))
+		}
+		if tr.Anomalies != before[path].Anomalies {
+			t.Errorf("%s: reshrink changed the recorded classification", path)
+		}
+		if code, _, rerr := exec(t, "verify", "-replay", path); code != exitOK {
+			t.Errorf("replay after reshrink %s: code = %d, stderr: %s", path, code, rerr)
+		}
+	}
+
+	// A stale trace (recorded anomalies no longer reproduce) fails the run
+	// but is left untouched.
+	stale := *before[traces[0]]
+	stale.Anomalies = verify.Anomalies{}
+	staleBytes, err := stale.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalePath := filepath.Join(dir, "stale-trace.json")
+	if err := os.WriteFile(stalePath, staleBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = exec(t, "verify", "-reshrink", dir)
+	if code != exitError {
+		t.Fatalf("reshrink with a stale trace: code = %d, want %d", code, exitError)
+	}
+	if !strings.Contains(stderr, "no longer reproduce") {
+		t.Errorf("stderr does not explain the stale trace: %s", stderr)
+	}
+	after, err := os.ReadFile(stalePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, staleBytes) {
+		t.Error("stale trace was rewritten; it should be left untouched")
+	}
+
+	// An empty directory is an error, not a silent success.
+	if code, _, _ := exec(t, "verify", "-reshrink", t.TempDir()); code != exitError {
+		t.Errorf("reshrink of an empty dir: code = %d, want %d", code, exitError)
+	}
+}
+
 // TestReplayExitCodes pins the -replay / flag-validation exit-code matrix.
 func TestReplayExitCodes(t *testing.T) {
 	dir := t.TempDir()

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-json]
+//	blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-strategy name] [-json]
 //	blazes verify -shrink dir [...]          also write 1-minimal traces
 //	blazes verify -coordinator URL [...]     distribute via blazes serve
 //	blazes verify -replay trace.json         re-execute a shrunk trace
+//	blazes verify -reshrink dir              re-minimize a trace corpus in place
 //
 // Flags:
 //
@@ -23,6 +24,10 @@
 //	                  reports are byte-identical at any setting (0 = one
 //	                  worker per CPU, 1 = sequential)
 //	-sequencing       prefer M1 sequencing over M2 dynamic ordering
+//	-strategy name    try the named registered coordination strategy first
+//	                  during synthesis (the blazes/strategy registry:
+//	                  sealing, ordering, quorum-ordering, merge-rewrite,
+//	                  partition-sealing); unknown names are usage errors
 //	-json             emit the reports as a JSON array
 //	-shrink dir       delta-debug every anomalous cell to a 1-minimal
 //	                  replayable trace artifact written into dir
@@ -31,10 +36,15 @@
 //	                  report is byte-identical to a local run
 //	-replay file      re-execute a trace artifact and check it reproduces
 //	                  its recorded anomaly classification
+//	-reshrink dir     re-run delta debugging over every blazes.trace/v1
+//	                  artifact in dir (no sweep) and rewrite the files in
+//	                  place; stale traces — recorded anomalies that no
+//	                  longer reproduce — are reported and left untouched
 //
 // Exit codes follow the command's contract: 0 when every verified workload
-// upholds the guarantee (or the replayed trace reproduces), 1 on a
-// violation, a non-reproducing trace, or an error, 2 on usage errors.
+// upholds the guarantee (or the replayed trace reproduces, or every trace
+// reshrinks), 1 on a violation, a non-reproducing or stale trace, or an
+// error, 2 on usage errors.
 package main
 
 import (
@@ -49,6 +59,7 @@ import (
 	"time"
 
 	"blazes/service"
+	"blazes/strategy"
 	"blazes/verify"
 )
 
@@ -59,19 +70,22 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		seeds       = fs.Int("seeds", verify.DefaultSeeds, "schedules per (mechanism, plan) configuration")
 		parallel    = fs.Int("parallel", 0, "schedule-sweep workers (0 = one per CPU, 1 = sequential; reports are byte-identical at any setting)")
 		sequencing  = fs.Bool("sequencing", false, "prefer M1 sequencing when ordering is needed")
+		strategyArg = fs.String("strategy", "", "try this registered coordination strategy first during synthesis")
 		jsonOut     = fs.Bool("json", false, "emit reports as a JSON array")
 		shrinkDir   = fs.String("shrink", "", "write 1-minimal replayable traces for anomalous cells into this directory")
 		coordinator = fs.String("coordinator", "", "distribute the sweep via this coordinator URL (blazes serve)")
 		batch       = fs.Int("batch", 0, "seeds per claimable batch in coordinator mode (0 = coordinator default)")
 		replayPath  = fs.String("replay", "", "replay a shrunk trace artifact (exclusive with the sweep flags)")
+		reshrinkDir = fs.String("reshrink", "", "re-minimize every trace artifact in this directory in place (no sweep)")
 		workloads   multiFlag
 	)
 	fs.Var(&workloads, "workload", "workload name (repeatable; default: the full suite)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-json]\n"+
-			"       blazes verify -shrink dir | -coordinator URL | -replay trace.json\n\n")
+		fmt.Fprintf(stderr, "usage: blazes verify [-workload name]... [-seeds n] [-parallel n] [-sequencing] [-strategy name] [-json]\n"+
+			"       blazes verify -shrink dir | -coordinator URL | -replay trace.json | -reshrink dir\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, "\nworkloads: %s, generated-<n>c-s<seed>\n", strings.Join(workloadNames(), ", "))
+		fmt.Fprintf(stderr, "strategies: %s\n", strings.Join(strategy.Names(), ", "))
 	}
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -84,13 +98,26 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		fs.Usage()
 		return exitUsage
 	}
+	if err := strategy.Validate(*strategyArg); err != nil {
+		fmt.Fprintln(stderr, "blazes: verify:", err)
+		fs.Usage()
+		return exitUsage
+	}
 	if *replayPath != "" {
-		if len(workloads) > 0 || *shrinkDir != "" || *coordinator != "" {
+		if len(workloads) > 0 || *shrinkDir != "" || *coordinator != "" || *reshrinkDir != "" {
 			fmt.Fprintf(stderr, "blazes: verify: -replay cannot be combined with sweep flags\n")
 			fs.Usage()
 			return exitUsage
 		}
 		return runReplay(ctx, *replayPath, *jsonOut, stdout, stderr)
+	}
+	if *reshrinkDir != "" {
+		if len(workloads) > 0 || *shrinkDir != "" || *coordinator != "" {
+			fmt.Fprintf(stderr, "blazes: verify: -reshrink cannot be combined with sweep flags\n")
+			fs.Usage()
+			return exitUsage
+		}
+		return runReshrink(ctx, *reshrinkDir, stdout, stderr)
 	}
 	if *seeds <= 0 {
 		fmt.Fprintf(stderr, "blazes: verify: -seeds must be positive\n")
@@ -128,14 +155,14 @@ func runVerify(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		return exitUsage
 	}
 	if *coordinator != "" {
-		return runCoordinated(ctx, *coordinator, workloads, *seeds, *batch, *sequencing, *shrinkDir, *jsonOut, stdout, stderr)
+		return runCoordinated(ctx, *coordinator, workloads, *seeds, *batch, *sequencing, *strategyArg, *shrinkDir, *jsonOut, stdout, stderr)
 	}
 
 	parallelism := *parallel
 	if parallelism == 0 {
 		parallelism = -1 // one worker per CPU
 	}
-	opts := verify.Options{Seeds: *seeds, PreferSequencing: *sequencing, Parallelism: parallelism}
+	opts := verify.Options{Seeds: *seeds, PreferSequencing: *sequencing, Strategy: *strategyArg, Parallelism: parallelism}
 	var reports []*verify.Report
 	holds := true
 	for _, w := range selected {
@@ -221,16 +248,75 @@ func runReplay(ctx context.Context, path string, jsonOut bool, stdout, stderr io
 	return exitOK
 }
 
+// runReshrink re-minimizes every blazes.trace/v1 artifact in dir in place:
+// each trace's recorded event set is delta-debugged again (no sweep
+// re-run) and the file rewritten with the fresh 1-minimal result. A trace
+// whose recorded anomalies no longer reproduce is stale: it is reported
+// and left untouched, and the command exits 1.
+func runReshrink(ctx context.Context, dir string, stdout, stderr io.Writer) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "blazes: verify:", err)
+		return exitError
+	}
+	found, failed := 0, 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		tr, err := verify.DecodeTrace(data)
+		if err != nil {
+			// Not a trace artifact (or a future schema); skip, don't fail.
+			fmt.Fprintf(stderr, "blazes: verify: reshrink: skipping %s: %v\n", path, err)
+			continue
+		}
+		found++
+		min, err := verify.Reshrink(ctx, tr)
+		if err != nil {
+			fmt.Fprintf(stderr, "blazes: verify: reshrink: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		out, err := min.Encode()
+		if err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			fmt.Fprintln(stderr, "blazes: verify:", err)
+			return exitError
+		}
+		fmt.Fprintf(stdout, "reshrunk %s: %d → %d event(s), %d seed(s), %d step(s)\n",
+			path, len(tr.Events), len(min.Events), len(min.Seeds), min.Steps)
+	}
+	if found == 0 {
+		fmt.Fprintf(stderr, "blazes: verify: reshrink: no trace artifacts in %s\n", dir)
+		return exitError
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "blazes: verify: reshrink: %d of %d trace(s) failed\n", failed, found)
+		return exitError
+	}
+	return exitOK
+}
+
 // runCoordinated submits the sweep to a coordinator, streams progress to
 // stderr while worker processes drain it, and renders the merged result
 // exactly like a local run.
-func runCoordinated(ctx context.Context, coordinator string, workloads []string, seeds, batch int, sequencing bool, shrinkDir string, jsonOut bool, stdout, stderr io.Writer) int {
+func runCoordinated(ctx context.Context, coordinator string, workloads []string, seeds, batch int, sequencing bool, strategyName, shrinkDir string, jsonOut bool, stdout, stderr io.Writer) int {
 	base := strings.TrimRight(coordinator, "/")
 	var st service.SweepStatus
 	err := postJSON(ctx, base+"/v1/sweeps", service.SweepSubmitRequest{
 		Workloads:  workloads,
 		Seeds:      seeds,
 		Sequencing: sequencing,
+		Strategy:   strategyName,
 		Shrink:     shrinkDir != "",
 		BatchSize:  batch,
 	}, &st)

@@ -26,6 +26,12 @@ const (
 	// punctuated it (unanimous vote), then processes it atomically;
 	// requests for a campaign are held until that campaign seals.
 	Sealed
+	// Quorum routes clicks and requests through the quorum-ordering
+	// protocol: producers stamp messages with Lamport clocks, replicas
+	// deliver in stamp order behind the stability frontier. Same total
+	// order guarantee as Ordered, but the only coordination traffic is
+	// the heartbeat — no per-message sequencer round trip.
+	Quorum
 )
 
 // String names the regime as in the figures.
@@ -35,6 +41,8 @@ func (r Regime) String() string {
 		return "uncoordinated"
 	case Ordered:
 		return "ordered"
+	case Quorum:
+		return "quorum"
 	default:
 		return "sealed"
 	}
@@ -71,6 +79,8 @@ type Config struct {
 	// BackpressureThreshold is the sequencer queue delay above which
 	// clients throttle and retry (Ordered regime).
 	BackpressureThreshold sim.Time
+	// Quorum configures the quorum-ordering protocol (Quorum regime).
+	Quorum coord.QuorumConfig
 }
 
 // DefaultConfig mirrors the paper's setup for the given number of ad
@@ -91,6 +101,7 @@ func DefaultConfig(adServers int, regime Regime, independent bool) Config {
 		Link:                  sim.LinkConfig{MinDelay: 500 * sim.Microsecond, MaxDelay: 8 * sim.Millisecond},
 		Sequencer:             seq,
 		BackpressureThreshold: 250 * sim.Millisecond,
+		Quorum:                coord.DefaultQuorum,
 	}
 }
 
@@ -155,6 +166,11 @@ type Result struct {
 	// 14's two curves.
 	BufferSum   sim.Time
 	BufferCount int
+	// CoordMessages counts the coordination-service messages the regime
+	// issued: sequencer submissions (one round trip per click/request)
+	// under Ordered, watermark heartbeats under Quorum, 0 otherwise —
+	// the cost axis on which quorum ordering beats the sequencer.
+	CoordMessages int
 }
 
 // AvgBufferTime is the mean time a record waited for its partition to seal.
@@ -372,6 +388,61 @@ func Run(cfg Config) (*Result, error) {
 			req := req
 			s.At(req.At, func() { seq.Submit(req) })
 		}
+		defer func() { res.CoordMessages = seq.Submitted() }()
+
+	case Quorum:
+		q := coord.NewQuorumOrder(s, cfg.Quorum)
+		for _, r := range replicas {
+			r := r
+			q.Subscribe(func(_ coord.Stamp, msg any) {
+				switch v := msg.(type) {
+				case Click:
+					enqueueClick(r, v)
+				case Request:
+					enqueueRequest(r, v)
+				}
+			})
+		}
+		// One stamping producer per ad server (first-occurrence order, so
+		// producer ids — and hence the preordained order — are
+		// deterministic) plus one for the analyst.
+		producers := map[string]*coord.QuorumProducer{}
+		var plist []*coord.QuorumProducer
+		for _, b := range bursts {
+			if producers[b.Server] == nil {
+				p := q.Producer()
+				producers[b.Server] = p
+				plist = append(plist, p)
+			}
+		}
+		analyst := q.Producer()
+		plist = append(plist, analyst)
+		var last sim.Time
+		for _, b := range bursts {
+			b := b
+			if b.At > last {
+				last = b.At
+			}
+			s.At(b.At, func() {
+				p := producers[b.Server]
+				for _, c := range b.Clicks {
+					p.Send(c)
+				}
+			})
+		}
+		for _, req := range requests {
+			req := req
+			if req.At > last {
+				last = req.At
+			}
+			s.At(req.At, func() { analyst.Send(req) })
+		}
+		// Quiescence markers flush everything buffered behind the frontier.
+		for _, p := range plist {
+			p := p
+			s.At(last+sim.Millisecond, p.Done)
+		}
+		defer func() { res.CoordMessages = q.Heartbeats() }()
 
 	case Sealed:
 		registry := coord.NewRegistry(s, cfg.Link)

@@ -1,0 +1,89 @@
+package adtrack
+
+import (
+	"testing"
+
+	"blazes/internal/sim"
+)
+
+// TestQuorumDeterministicEverywhere: quorum ordering preordains the total
+// order in the producers' stamps, so like M1 (and unlike M2) it removes
+// both cross-instance and cross-run nondeterminism: stamps depend on send
+// times, not on delivery jitter.
+func TestQuorumDeterministicEverywhere(t *testing.T) {
+	base, err := Run(testConfig(1, Quorum, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := CrossInstanceDiff(base, 3); d != "" {
+		t.Fatalf("replicas disagree under quorum ordering: %s", d)
+	}
+	if base.Held != 0 {
+		t.Fatalf("%d requests still held", base.Held)
+	}
+	want := 3 * 60
+	for i, n := range base.LogSizes {
+		if n != want {
+			t.Errorf("replica %d log = %d, want %d", i, n, want)
+		}
+	}
+	for seed := int64(2); seed <= 6; seed++ {
+		res, err := Run(testConfig(seed, Quorum, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := CrossRunDiff(base, res, 3); d != "" {
+			t.Fatalf("seed %d: quorum runs differ: %s", seed, d)
+		}
+	}
+}
+
+// TestQuorumFewerCoordMessagesThanSequencer pins the cost claim behind
+// the quorum-ordering strategy: on the chaos-sized ad-tracking workload,
+// the sequencer pays one coordination round trip per submitted click and
+// request, while quorum ordering pays only the periodic watermark
+// heartbeat — far fewer messages for the same total-order guarantee.
+// EXPERIMENTS.md reports the measured ratio.
+func TestQuorumFewerCoordMessagesThanSequencer(t *testing.T) {
+	config := func(regime Regime) Config {
+		// The chaos harness's adtrack-network sizing (workload_adtrack.go).
+		cfg := DefaultConfig(2, regime, false)
+		cfg.Workload.EntriesPerServer = 60
+		cfg.Workload.BatchSize = 10
+		cfg.Workload.Sleep = 40 * sim.Millisecond
+		cfg.Workload.Campaigns = 2
+		cfg.Workload.AdsPerCampaign = 2
+		cfg.Requests = 6
+		cfg.RequestSpacing = cfg.Workload.Sleep
+		return cfg
+	}
+	ordered, err := Run(config(Ordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quorum, err := Run(config(Quorum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered.CoordMessages == 0 || quorum.CoordMessages == 0 {
+		t.Fatalf("coordination counters not recorded: ordered=%d quorum=%d",
+			ordered.CoordMessages, quorum.CoordMessages)
+	}
+	// The sequencer pays per message: every click plus every request.
+	if want := 2*60 + 6; ordered.CoordMessages != want {
+		t.Errorf("sequencer submissions = %d, want %d (one per click and request)", ordered.CoordMessages, want)
+	}
+	if quorum.CoordMessages >= ordered.CoordMessages {
+		t.Fatalf("quorum heartbeats (%d) not fewer than sequencer round trips (%d)",
+			quorum.CoordMessages, ordered.CoordMessages)
+	}
+	// Both deliver the same complete log everywhere.
+	for i, n := range quorum.LogSizes {
+		if n != 2*60 {
+			t.Errorf("quorum replica %d log = %d, want %d", i, n, 2*60)
+		}
+	}
+	t.Logf("coordination messages: sequencer=%d quorum=%d (%.1fx fewer)",
+		ordered.CoordMessages, quorum.CoordMessages,
+		float64(ordered.CoordMessages)/float64(quorum.CoordMessages))
+}

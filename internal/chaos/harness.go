@@ -46,6 +46,10 @@ type Config struct {
 	Plans []FaultPlan
 	// PreferSequencing selects M1 over M2 when synthesis must order.
 	PreferSequencing bool
+	// Strategy optionally names a registered strategy to prefer during
+	// synthesis (dataflow.RegisterStrategy); empty keeps the default
+	// sealing-then-ordering chain. Unknown names are rejected.
+	Strategy string
 	// Parallelism is the worker count for exploring seeded schedules
 	// concurrently. Each seed runs on its own simulator and the oracle
 	// folds outcomes in seed order, so the verdict — anomalies, details,
@@ -64,6 +68,11 @@ func (cfg Config) validate() error {
 	}
 	if cfg.Parallelism < -1 {
 		return fmt.Errorf("chaos: Parallelism must be ≥ -1 (got %d; -1 selects one worker per CPU)", cfg.Parallelism)
+	}
+	if cfg.Strategy != "" {
+		if _, err := dataflow.LookupStrategy(cfg.Strategy); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
 	}
 	return nil
 }
@@ -116,10 +125,12 @@ type Report struct {
 	Holds bool `json:"holds"`
 }
 
-// allowedAnomalies encodes Figure 5's row for each mechanism: sealing and
-// preordained sequencing eliminate every class; a dynamic ordering service
-// removes replication anomalies but not cross-run nondeterminism; a
-// confluent component needs nothing (on the eventual-outcome comparison).
+// allowedAnomalies encodes Figure 5's row for each mechanism: sealing
+// (whole or per-partition) and preordained orders (sequencing, quorum
+// stamps) eliminate every class; a dynamic ordering service removes
+// replication anomalies but not cross-run nondeterminism; a confluent
+// component — including one made confluent by a merge rewrite — needs
+// nothing (on the eventual-outcome comparison).
 func allowedAnomalies(mech dataflow.Coordination) Anomalies {
 	if mech == dataflow.CoordDynamicOrder {
 		return Anomalies{Run: true}
@@ -133,6 +144,9 @@ var coordinations = []dataflow.Coordination{
 	dataflow.CoordSequenced,
 	dataflow.CoordDynamicOrder,
 	dataflow.CoordSealed,
+	dataflow.CoordQuorumOrder,
+	dataflow.CoordMergeRewrite,
+	dataflow.CoordPartitionSealed,
 }
 
 // ParseCoordination resolves the canonical mechanism string (the
@@ -228,7 +242,10 @@ func PlanCheck(w Workload, cfg Config) (*CheckPlan, error) {
 	// the punctuation/voting protocol, and Synthesize says so. Only a
 	// deterministic program with *no* synthesized strategies is confluent
 	// in the run-it-bare sense.
-	strategies := dataflow.Synthesize(an, dataflow.SynthesisOptions{PreferSequencing: cfg.PreferSequencing})
+	strategies := dataflow.Synthesize(an, dataflow.SynthesisOptions{
+		PreferSequencing: cfg.PreferSequencing,
+		Strategy:         cfg.Strategy,
+	})
 	bare := an.Deterministic() && len(strategies) == 0
 
 	var mechs []dataflow.Coordination
@@ -253,13 +270,17 @@ func PlanCheck(w Workload, cfg Config) (*CheckPlan, error) {
 	}
 
 	for _, mech := range mechs {
+		// A merge rewrite makes the component confluent rather than
+		// ordering its inputs: the oracle compares eventual outcomes, as
+		// for natively confluent programs.
+		confluent := bare || mech == dataflow.CoordMergeRewrite
 		for _, plan := range cfg.Plans {
 			p.Cells = append(p.Cells, Cell{
 				Workload:  w.Name(),
 				Mechanism: mech.String(),
 				Plan:      plan,
 				Seeds:     cfg.Seeds,
-				Confluent: bare,
+				Confluent: confluent,
 			})
 		}
 	}

@@ -352,6 +352,68 @@ func ShrinkCell(ctx context.Context, w Workload, cell Cell, outcomes []Outcome) 
 	}, nil
 }
 
+// ReshrinkTrace re-runs delta debugging over an existing trace's event set
+// without repeating the sweep that produced it — the corpus-maintenance
+// path behind `blazes verify -reshrink`: after the shrinker or a workload
+// improves, stored traces can be re-minimized in place. The workload is
+// resolved by name and the recorded classification is the target; if it no
+// longer reproduces from the recorded events the trace is stale and an
+// error says so. The result is a fresh 1-minimal trace with the same
+// identity fields (workload, mechanism, base plan, anomalies).
+func ReshrinkTrace(ctx context.Context, tr *Trace) (*Trace, error) {
+	w, err := LookupWorkload(tr.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cell := Cell{
+		Workload:  tr.Workload,
+		Mechanism: tr.Mechanism,
+		Plan:      tr.Plan,
+		Seeds:     len(tr.Seeds),
+		Confluent: tr.Confluent,
+		Stripped:  tr.Stripped,
+	}
+	events := tr.Events
+	if len(events) == 0 {
+		// Artifacts written before events were recorded: rebuild the event
+		// set from the rendered plan and seeds.
+		for _, s := range tr.Seeds {
+			events = append(events, Event{Kind: "seed", Seed: s})
+		}
+		events = append(events, planEvents(tr.Plan)...)
+	}
+	sh := &shrinker{w: w, cell: cell, target: tr.Anomalies}
+	if ok, err := sh.reproduces(ctx, events); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("chaos: reshrink %s under %s/%s: recorded anomalies no longer reproduce from the recorded events",
+			tr.Workload, tr.Mechanism, tr.BasePlan)
+	}
+	minimal, err := sh.ddmin(ctx, events)
+	if err != nil {
+		return nil, err
+	}
+	plan, seeds := eventsPlan(tr.BasePlan, minimal)
+	_, detail, err := sh.fold(ctx, plan, seeds)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{
+		Version:   TraceVersion,
+		Workload:  tr.Workload,
+		Mechanism: tr.Mechanism,
+		Confluent: tr.Confluent,
+		Stripped:  tr.Stripped,
+		BasePlan:  tr.BasePlan,
+		Plan:      plan,
+		Seeds:     seeds,
+		Anomalies: tr.Anomalies,
+		Detail:    detail,
+		Events:    minimal,
+		Steps:     sh.steps,
+	}, nil
+}
+
 // ReplayResult is the verdict of re-executing a trace.
 type ReplayResult struct {
 	// Reproduced: the replay yielded exactly the trace's classification.

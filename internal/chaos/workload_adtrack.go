@@ -18,6 +18,7 @@ import (
 //
 //	CoordSealed       → adtrack.Sealed (per-campaign unanimous vote)
 //	CoordDynamicOrder → adtrack.Ordered (totally ordered messaging)
+//	CoordQuorumOrder  → adtrack.Quorum (stamped, frontier-stable order)
 //	CoordNone         → adtrack.Uncoordinated (direct delivery)
 type AdNetworkWorkload struct {
 	Query            dataflow.AdQuery
@@ -42,7 +43,7 @@ func (w *AdNetworkWorkload) Graph() (*dataflow.Graph, error) {
 // Supports implements Workload.
 func (w *AdNetworkWorkload) Supports(mech dataflow.Coordination) bool {
 	switch mech {
-	case dataflow.CoordNone, dataflow.CoordDynamicOrder, dataflow.CoordSealed:
+	case dataflow.CoordNone, dataflow.CoordDynamicOrder, dataflow.CoordSealed, dataflow.CoordQuorumOrder:
 		return true
 	}
 	return false
@@ -58,6 +59,8 @@ func (w *AdNetworkWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordi
 		regime = adtrack.Ordered
 	case dataflow.CoordSealed:
 		regime = adtrack.Sealed
+	case dataflow.CoordQuorumOrder:
+		regime = adtrack.Quorum
 	default:
 		return Outcome{}, fmt.Errorf("adtrack: unsupported mechanism %s", mech)
 	}
@@ -78,6 +81,7 @@ func (w *AdNetworkWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordi
 	cfg.Link = plan.Shape(cfg.Link)
 	cfg.Sequencer.SubmitDelay = plan.Shape(cfg.Sequencer.SubmitDelay)
 	cfg.Sequencer.DeliverDelay = plan.Shape(cfg.Sequencer.DeliverDelay)
+	cfg.Quorum.Delivery = plan.Shape(cfg.Quorum.Delivery)
 
 	res, err := adtrack.Run(cfg)
 	if err != nil {

@@ -153,10 +153,14 @@ func (w *GeneratedWorkload) Graph() (*dataflow.Graph, error) {
 }
 
 // Supports implements Workload: the interpreter can impose every Figure 5
-// delivery mechanism on the generated graph.
+// delivery mechanism on the generated graph, plus the registered ordering
+// and sealing extensions (quorum stamps and per-partition seals both fold
+// to canonical per-source orders at the digest level). Merge rewrite is
+// out: generated graphs declare no commutative merges.
 func (w *GeneratedWorkload) Supports(mech dataflow.Coordination) bool {
 	switch mech {
-	case dataflow.CoordNone, dataflow.CoordSequenced, dataflow.CoordDynamicOrder, dataflow.CoordSealed:
+	case dataflow.CoordNone, dataflow.CoordSequenced, dataflow.CoordDynamicOrder, dataflow.CoordSealed,
+		dataflow.CoordQuorumOrder, dataflow.CoordPartitionSealed:
 		return true
 	}
 	return false
@@ -326,11 +330,14 @@ func (w *GeneratedWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordi
 		}
 		s.Run()
 
-	case dataflow.CoordSequenced, dataflow.CoordSealed:
-		// M1 preordains the (source, seq) total order; M3 buffers each
-		// source's partition until sealed and folds it in sequence order.
-		// Both collapse to the canonical propagation order, deterministic
-		// across seeds.
+	case dataflow.CoordSequenced, dataflow.CoordSealed,
+		dataflow.CoordQuorumOrder, dataflow.CoordPartitionSealed:
+		// M1 preordains the (source, seq) total order; M1q's producer
+		// stamps preordain the same canonical order without the sequencer;
+		// M3 buffers each source's partition until sealed and folds it in
+		// sequence order, and M3p releases each partition independently —
+		// the terminal fold per source is identical. All collapse to the
+		// canonical propagation order, deterministic across seeds.
 		m.propagate(st.apply)
 
 	case dataflow.CoordDynamicOrder:

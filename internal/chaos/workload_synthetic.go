@@ -77,6 +77,12 @@ func (w *SyntheticWorkload) Graph() (*dataflow.Graph, error) {
 		comp.AddPath("msgs", "out", core.OWStar())
 		comp.AddPath("reads", "out", core.ORStar())
 	}
+	if !w.Confluent {
+		// The per-producer XOR digest in synReplica is a declared
+		// commutative merge, so the merge-rewrite strategy applies to the
+		// order-sensitive variants.
+		comp.Merge = "xor-set-digest"
+	}
 	src := g.Source("msgs", "Synthetic", "msgs")
 	if w.Gated && !w.Confluent {
 		src.Seal = fd.NewAttrSet("producer")
@@ -87,11 +93,16 @@ func (w *SyntheticWorkload) Graph() (*dataflow.Graph, error) {
 }
 
 // Supports implements Workload: the synthetic component can install every
-// Figure 5 mechanism.
+// Figure 5 mechanism plus the registered extensions (per-partition sealing
+// needs the per-producer seal, so only the gated variant supports it).
 func (w *SyntheticWorkload) Supports(mech dataflow.Coordination) bool {
 	switch mech {
 	case dataflow.CoordNone, dataflow.CoordSequenced, dataflow.CoordDynamicOrder, dataflow.CoordSealed:
 		return true
+	case dataflow.CoordQuorumOrder, dataflow.CoordMergeRewrite:
+		return true
+	case dataflow.CoordPartitionSealed:
+		return w.Gated
 	}
 	return false
 }
@@ -108,10 +119,13 @@ func (m synMsg) value() string { return m.id() }
 // synReplica is one replica of the component under test.
 type synReplica struct {
 	confluent bool
-	seen      map[string]bool
-	set       map[string]bool
-	chains    map[string]uint64
-	outputs   []string
+	// merge selects the rewritten fold (merge-rewrite strategy): an
+	// order-insensitive XOR digest per producer instead of the hash chain.
+	merge   bool
+	seen    map[string]bool
+	set     map[string]bool
+	chains  map[string]uint64
+	outputs []string
 }
 
 func newSynReplica(confluent bool) *synReplica {
@@ -125,6 +139,13 @@ func (r *synReplica) apply(m synMsg) {
 	r.seen[m.id()] = true
 	if r.confluent {
 		r.set[m.value()] = true
+		return
+	}
+	if r.merge {
+		// The declared commutative merge: XOR of element hashes is a set
+		// digest, insensitive to delivery order (dedup above supplies
+		// idempotence).
+		r.chains[m.Producer] ^= synElemHash(m.value())
 		return
 	}
 	r.chains[m.Producer] = synChainHash(r.chains[m.Producer], m.value())
@@ -162,6 +183,12 @@ func synChainHash(prev uint64, v string) uint64 {
 	return h.Sum64()
 }
 
+func synElemHash(v string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	return h.Sum64()
+}
+
 // Run implements Workload.
 func (w *SyntheticWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordination) (Outcome, error) {
 	span := 80 * sim.Millisecond
@@ -191,9 +218,20 @@ func (w *SyntheticWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordi
 	}
 	// dup reports whether the link duplicates this delivery.
 	dup := func() bool { return link.DupProb > 0 && s.Rand().Float64() < link.DupProb }
+	// finalize runs after the simulation drains, before outcomes are
+	// collected (e.g. to assemble request-keyed answers into a trace).
+	var finalize []func()
 
 	switch mech {
-	case dataflow.CoordNone:
+	case dataflow.CoordNone, dataflow.CoordMergeRewrite:
+		// Merge rewrite installs no delivery protocol: replicas run the
+		// declared commutative merge over the same chaotic uncoordinated
+		// schedule, and order-insensitivity of the merge does the rest.
+		if mech == dataflow.CoordMergeRewrite && !w.Confluent {
+			for _, r := range reps {
+				r.merge = true
+			}
+		}
 		for _, m := range msgs {
 			m := m
 			at := sendTime(m)
@@ -271,6 +309,127 @@ func (w *SyntheticWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordi
 			s.At(t, func() { seq.Submit(fmt.Sprintf("read%d", i)) })
 		}
 
+	case dataflow.CoordQuorumOrder:
+		// M1q: producers stamp messages with Lamport clocks and replicas
+		// deliver in (clock, producer, seq) order once the stability
+		// frontier passes. The reader registers as a producer too, so
+		// reads occupy preordained positions in the same total order —
+		// no sequencer round trips, only heartbeats.
+		cfg := coord.DefaultQuorum
+		cfg.Delivery = plan.Shape(cfg.Delivery)
+		cfg.HeartbeatEvery = 10 * sim.Millisecond
+		q := coord.NewQuorumOrder(s, cfg)
+		for _, r := range reps {
+			r := r
+			q.Subscribe(func(_ coord.Stamp, msg any) {
+				switch v := msg.(type) {
+				case synMsg:
+					r.apply(v)
+				case string:
+					r.read()
+				}
+			})
+		}
+		producers := make([]*coord.QuorumProducer, w.Producers)
+		for p := range producers {
+			producers[p] = q.Producer()
+		}
+		reader := q.Producer()
+		for pi := 0; pi < w.Producers; pi++ {
+			prod := producers[pi]
+			name := fmt.Sprintf("p%d", pi)
+			for _, m := range msgs {
+				if m.Producer != name {
+					continue
+				}
+				m := m
+				s.At(sendTime(m), func() { prod.Send(m) })
+			}
+		}
+		for i, t := range readTimes {
+			i := i
+			s.At(t, func() { reader.Send(fmt.Sprintf("read%d", i)) })
+		}
+		end := span + sim.Millisecond
+		for _, p := range producers {
+			p := p
+			s.At(end, p.Done)
+		}
+		s.At(end, reader.Done)
+
+	case dataflow.CoordPartitionSealed:
+		// M3p: the same punctuation/voting protocol as CoordSealed, but
+		// each partition releases its readers as soon as it alone seals;
+		// reads target (and observe) a single partition, so a straggler
+		// producer delays only its own partition's readers.
+		registry := coord.NewRegistry(s, link)
+		for p := 0; p < w.Producers; p++ {
+			producer := fmt.Sprintf("p%d", p)
+			registry.Register(producer, producer)
+		}
+		for ri := range reps {
+			r := reps[ri]
+			sealedPart := map[string]bool{}
+			held := map[string][]func(){}
+			// Reads release in partition-seal order, which legitimately
+			// differs across replicas; answers are keyed by read index so
+			// the trace compares query answers, not release order.
+			answers := make([]string, w.Reads)
+			finalize = append(finalize, func() { r.outputs = append(r.outputs, answers...) })
+			tracker := coord.NewSealTracker(func(partition string, buffered []any) {
+				vals := make([]synMsg, 0, len(buffered))
+				for _, b := range buffered {
+					vals = append(vals, b.(synMsg))
+				}
+				sort.Slice(vals, func(i, j int) bool { return vals[i].Seq < vals[j].Seq })
+				for _, m := range vals {
+					r.apply(m)
+				}
+				sealedPart[partition] = true
+				for _, fn := range held[partition] {
+					fn()
+				}
+				delete(held, partition)
+			})
+			fifo := newFifoLink(s, link)
+			for p := 0; p < w.Producers; p++ {
+				producer := fmt.Sprintf("p%d", p)
+				registry.Lookup(producer, func(producers []string) {
+					tracker.SetExpected(producer, producers)
+				})
+			}
+			var lastSend sim.Time
+			for _, m := range msgs {
+				m := m
+				at := sendTime(m)
+				if at > lastSend {
+					lastSend = at
+				}
+				fifo.deliver(m.Producer, at, func() { tracker.Data(m.Producer, m) })
+				if dup() {
+					fifo.deliver(m.Producer, at, func() { tracker.Data(m.Producer, m) })
+				}
+			}
+			for p := 0; p < w.Producers; p++ {
+				producer := fmt.Sprintf("p%d", p)
+				fifo.deliver(producer, lastSend+sim.Millisecond, func() {
+					tracker.Seal(coord.Punctuation{Partition: producer, Producer: producer})
+				})
+			}
+			for i, t := range readTimes {
+				i := i
+				part := fmt.Sprintf("p%d", i%w.Producers)
+				answer := func() { answers[i] = fmt.Sprintf("%s=%x", part, r.chains[part]) }
+				s.At(arrival(t), func() {
+					if sealedPart[part] {
+						answer()
+					} else {
+						held[part] = append(held[part], answer)
+					}
+				})
+			}
+		}
+
 	case dataflow.CoordSealed:
 		// M3: per-producer partitions sealed by punctuation after the
 		// producer's last message; reads gate on every partition. Seals
@@ -342,6 +501,9 @@ func (w *SyntheticWorkload) Run(seed int64, plan FaultPlan, mech dataflow.Coordi
 	}
 
 	s.Run()
+	for _, fn := range finalize {
+		fn()
+	}
 	out := Outcome{}
 	for _, r := range reps {
 		out.Replicas = append(out.Replicas, r.outcome())

@@ -1,0 +1,264 @@
+package coord
+
+import (
+	"math"
+	"sort"
+
+	"blazes/internal/sim"
+)
+
+// QuorumConfig shapes the quorum-ordering substrate (the quorum-ordering
+// strategy, M1q).
+type QuorumConfig struct {
+	// Delivery bounds the direct producer→replica hop. Per-pair delivery
+	// is FIFO: jitter never reorders one producer's messages at one
+	// replica, which is what makes a producer's own stamps act as
+	// watermarks.
+	Delivery sim.LinkConfig
+	// HeartbeatEvery is the idle-watermark period: how often a producer
+	// that has nothing to send still advances the stability frontier. It
+	// bounds how long stable messages can sit buffered, and it is the
+	// protocol's whole coordination cost — compare Heartbeats() against a
+	// Sequencer's one round trip per Submit.
+	HeartbeatEvery sim.Time
+}
+
+// DefaultQuorum mirrors DefaultSequencer's link model with a 100ms
+// heartbeat: cheap enough to be negligible against per-message round
+// trips, frequent enough that buffered reads release within a heartbeat.
+var DefaultQuorum = QuorumConfig{
+	Delivery:       sim.LinkConfig{MinDelay: 300 * sim.Microsecond, MaxDelay: 2 * sim.Millisecond},
+	HeartbeatEvery: 100 * sim.Millisecond,
+}
+
+// Stamp is the preordained position of a message in the quorum order:
+// messages are delivered in (Clock, Producer, Seq) order. Clock is the
+// producer's Lamport clock at send time, Seq its per-producer sequence
+// number (also the dedup key under at-least-once delivery).
+type Stamp struct {
+	Clock    uint64
+	Producer int
+	Seq      uint64
+}
+
+// less orders stamps by (Clock, Producer, Seq).
+func (a Stamp) less(b Stamp) bool {
+	if a.Clock != b.Clock {
+		return a.Clock < b.Clock
+	}
+	if a.Producer != b.Producer {
+		return a.Producer < b.Producer
+	}
+	return a.Seq < b.Seq
+}
+
+// QuorumOrder is the quorum/vector-clock ordering service: producers stamp
+// messages with monotone Lamport clocks and send them directly to every
+// replica; replicas buffer and deliver in (Clock, Producer, Seq) order once
+// the stability frontier — the minimum watermark across producers — has
+// passed. The total order is fixed by the stamps at send time, so unlike a
+// Sequencer (one round trip per message) the only coordination traffic is
+// the periodic heartbeat that advances watermarks through idle periods.
+type QuorumOrder struct {
+	sim        *sim.Sim
+	cfg        QuorumConfig
+	producers  []*QuorumProducer
+	replicas   []*quorumReplica
+	heartbeats int
+	delivered  int
+}
+
+// NewQuorumOrder creates a quorum-ordering service on the given simulator.
+func NewQuorumOrder(s *sim.Sim, cfg QuorumConfig) *QuorumOrder {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultQuorum.HeartbeatEvery
+	}
+	return &QuorumOrder{sim: s, cfg: cfg}
+}
+
+// Subscribe registers a replica delivery callback. All replicas observe
+// the same (Clock, Producer, Seq) total order.
+func (q *QuorumOrder) Subscribe(fn func(Stamp, any)) {
+	r := &quorumReplica{
+		q:           q,
+		fn:          fn,
+		watermark:   map[int]uint64{},
+		seen:        map[[2]uint64]bool{},
+		lastArrival: map[int]sim.Time{},
+	}
+	for _, p := range q.producers {
+		r.watermark[p.id] = 0
+	}
+	q.replicas = append(q.replicas, r)
+}
+
+// Producer registers a new producer and starts its heartbeat. Register
+// every producer before the first Send so replicas know the full frontier.
+func (q *QuorumOrder) Producer() *QuorumProducer {
+	p := &QuorumProducer{q: q, id: len(q.producers)}
+	q.producers = append(q.producers, p)
+	for _, r := range q.replicas {
+		r.watermark[p.id] = 0
+	}
+	q.sim.After(q.cfg.HeartbeatEvery, p.tick)
+	return p
+}
+
+// Heartbeats reports how many watermark broadcasts producers have issued —
+// the protocol's total coordination cost, the analog of a Sequencer's
+// Submitted count.
+func (q *QuorumOrder) Heartbeats() int { return q.heartbeats }
+
+// Delivered reports the total number of replica deliveries.
+func (q *QuorumOrder) Delivered() int { return q.delivered }
+
+// QuorumProducer is one stamping client of the quorum order.
+type QuorumProducer struct {
+	q     *QuorumOrder
+	id    int
+	clock uint64
+	seq   uint64
+	done  bool
+}
+
+// ID returns the producer's position in the (Clock, Producer, Seq) order.
+func (p *QuorumProducer) ID() int { return p.id }
+
+// Send stamps msg with the producer's next clock and broadcasts it to
+// every replica over the direct jittered (but per-pair FIFO) hop.
+func (p *QuorumProducer) Send(msg any) {
+	p.clock++
+	p.seq++
+	st := Stamp{Clock: p.clock, Producer: p.id, Seq: p.seq}
+	for _, r := range p.q.replicas {
+		r.send(p.id, func() { r.data(st, msg) })
+	}
+}
+
+// tick emits a heartbeat and reschedules itself until Done.
+func (p *QuorumProducer) tick() {
+	if p.done {
+		return
+	}
+	p.heartbeat(p.clock)
+	p.q.sim.After(p.q.cfg.HeartbeatEvery, p.tick)
+}
+
+// Done marks the producer quiescent: a final watermark at +inf lets
+// replicas drain everything buffered behind this producer's frontier.
+func (p *QuorumProducer) Done() {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.heartbeat(math.MaxUint64)
+}
+
+// heartbeat broadcasts the producer's watermark: a promise that no future
+// stamp from it will carry a clock ≤ w.
+func (p *QuorumProducer) heartbeat(w uint64) {
+	p.q.heartbeats++
+	for _, r := range p.q.replicas {
+		r.send(p.id, func() { r.mark(p.id, w) })
+	}
+}
+
+// quorumReplica buffers stamped messages and releases them in stamp order
+// as the stability frontier advances.
+type quorumReplica struct {
+	q  *QuorumOrder
+	fn func(Stamp, any)
+	// buffer holds arrived-but-unstable messages.
+	buffer []stamped
+	// watermark is the highest clock each producer has promised not to
+	// send at or below again (its last stamp or heartbeat).
+	watermark map[int]uint64
+	// seen dedups data messages by (producer, seq) under at-least-once
+	// delivery.
+	seen map[[2]uint64]bool
+	// lastArrival keeps each producer→replica link FIFO, like the
+	// Sequencer's per-subscriber clamp.
+	lastArrival map[int]sim.Time
+}
+
+type stamped struct {
+	st  Stamp
+	msg any
+}
+
+// send schedules fn at a jittered arrival that never overtakes earlier
+// traffic from the same producer, duplicating per the link configuration
+// (data dedups by stamp, watermarks are idempotent).
+func (r *quorumReplica) send(producer int, fn func()) {
+	r.deliver(producer, fn)
+	if p := r.q.cfg.Delivery.DupProb; p > 0 && r.q.sim.Rand().Float64() < p {
+		r.deliver(producer, fn)
+	}
+}
+
+func (r *quorumReplica) deliver(producer int, fn func()) {
+	at := r.q.cfg.Delivery.Arrival(r.q.sim)
+	if last := r.lastArrival[producer]; at < last {
+		at = last
+	}
+	r.lastArrival[producer] = at
+	r.q.sim.At(at, fn)
+}
+
+// data receives one stamped message: dedup, record the implied watermark
+// (the stamp itself — FIFO links make it one), buffer, and drain.
+func (r *quorumReplica) data(st Stamp, msg any) {
+	key := [2]uint64{uint64(st.Producer), st.Seq}
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	if st.Clock > r.watermark[st.Producer] {
+		r.watermark[st.Producer] = st.Clock
+	}
+	r.buffer = append(r.buffer, stamped{st: st, msg: msg})
+	r.drain()
+}
+
+// mark receives a watermark heartbeat (idempotent: max wins).
+func (r *quorumReplica) mark(producer int, w uint64) {
+	if w > r.watermark[producer] {
+		r.watermark[producer] = w
+	}
+	r.drain()
+}
+
+// drain delivers every buffered message at or below the stability frontier
+// — the minimum watermark across producers — in (Clock, Producer, Seq)
+// order. A producer never stamps at or below its watermark again and the
+// per-pair links are FIFO, so everything ≤ the frontier has arrived:
+// delivering it in stamp order is safe and identical at every replica.
+func (r *quorumReplica) drain() {
+	frontier := uint64(math.MaxUint64)
+	//lint:allow maporder min over the values is order-insensitive
+	for _, w := range r.watermark {
+		if w < frontier {
+			frontier = w
+		}
+	}
+	if len(r.watermark) == 0 {
+		frontier = 0
+	}
+	var ready, rest []stamped
+	for _, m := range r.buffer {
+		if m.st.Clock <= frontier {
+			ready = append(ready, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	if len(ready) == 0 {
+		return
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].st.less(ready[j].st) })
+	r.buffer = rest
+	for _, m := range ready {
+		r.q.delivered++
+		r.fn(m.st, m.msg)
+	}
+}

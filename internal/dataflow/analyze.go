@@ -197,15 +197,17 @@ func (h *ifaceHeap) pop() ifaceNode {
 // It is the single implementation shared by the one-shot Analyze and the
 // incremental engine; labels supplies the already-derived stream labels.
 func deriveOutput(comp *Component, iface string, idx *streamIndex, labels map[string]core.Label) (steps []core.Step, rec core.Reconciliation, out core.Label) {
-	coordinated := comp.Coordination == CoordSequenced || comp.Coordination == CoordDynamicOrder
+	coordinated := comp.Coordination == CoordSequenced || comp.Coordination == CoordDynamicOrder ||
+		comp.Coordination == CoordQuorumOrder || comp.Coordination == CoordMergeRewrite
 
 	var merged []core.Label
 	for _, p := range comp.PathsTo(iface) {
 		ann := p.Ann
 		if coordinated && ann.OrderSensitive() {
-			// A total order over inputs removes order sensitivity: the
-			// path behaves as its confluent counterpart. (M2's residual
-			// cross-run nondeterminism is reapplied below.)
+			// A total order over inputs (M1/M2/M1q) or a commutative merge
+			// in place of the fold (merge rewrite) removes order
+			// sensitivity: the path behaves as its confluent counterpart.
+			// (M2's residual cross-run nondeterminism is reapplied below.)
 			ann = core.Annotation{Confluent: true, Write: ann.Write}
 		}
 		info := core.PathInfo{Ann: ann, Deps: comp.Deps}

@@ -32,6 +32,20 @@ const (
 	// CoordSealed is M3: per-partition sealing; inputs are buffered until
 	// their partition is sealed by every producer.
 	CoordSealed
+	// CoordQuorumOrder is a cheaper M1 variant: producers stamp messages
+	// with Lamport clocks and replicas deliver in (clock, producer, seq)
+	// order once the stability frontier passes, so the total order is
+	// preordained without a global sequencer round trip per message.
+	CoordQuorumOrder
+	// CoordMergeRewrite is not a delivery mechanism: the component's
+	// order-sensitive fold is replaced by a declared commutative merge,
+	// making it confluent by construction. No runtime protocol is
+	// installed; the derived labels change instead.
+	CoordMergeRewrite
+	// CoordPartitionSealed is M3 with independent partitions: each
+	// partition key seals and releases on its own, so one slow partition
+	// does not block reads against the others.
+	CoordPartitionSealed
 )
 
 // String names the mechanism as in Figure 5.
@@ -45,6 +59,12 @@ func (c Coordination) String() string {
 		return "dynamic ordering (M2)"
 	case CoordSealed:
 		return "sealing (M3)"
+	case CoordQuorumOrder:
+		return "quorum ordering (M1q)"
+	case CoordMergeRewrite:
+		return "merge rewrite (confluent)"
+	case CoordPartitionSealed:
+		return "partition sealing (M3p)"
 	default:
 		return fmt.Sprintf("Coordination(%d)", int(c))
 	}
@@ -75,6 +95,11 @@ type Component struct {
 	// Coordination records a delivery mechanism imposed on this
 	// component's inputs by a synthesized (or manually applied) strategy.
 	Coordination Coordination
+	// Merge optionally names a commutative, associative, idempotent merge
+	// function for the component's state. A non-empty Merge declares that
+	// the component's order-sensitive folds can be replaced by that merge,
+	// making the merge-rewrite strategy applicable.
+	Merge string
 
 	inputs  map[string]bool
 	outputs map[string]bool
@@ -325,6 +350,7 @@ func (g *Graph) Clone() *Graph {
 		nc.Rep = c.Rep
 		nc.Deps = c.Deps
 		nc.Coordination = c.Coordination
+		nc.Merge = c.Merge
 		if c.OutSchema != nil {
 			nc.OutSchema = make(map[string]fd.AttrSet, len(c.OutSchema))
 			for k, v := range c.OutSchema {

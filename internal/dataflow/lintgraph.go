@@ -349,8 +349,8 @@ func lintSealCompatibility(g *Graph) []LintDiagnostic {
 					Code:     CodeSealIncompatible,
 					Severity: SeverityWarning,
 					Subject:  s.Name,
-					Message: fmt.Sprintf("seal on (%s) cannot protect path %s→%s of %s (annotation %s): the key does not determine the gate, so sealing buys no determinism here",
-						s.Seal, p.From, p.To, s.ToComp, p.Ann),
+					Message: fmt.Sprintf("seal on (%s) cannot protect path %s→%s of %s (annotation %s): the key does not determine the gate, so sealing buys no determinism here; synthesis will fall back to an ordering-family strategy (%s or %s — pick one with WithStrategy) unless the seal key is widened",
+						s.Seal, p.From, p.To, s.ToComp, p.Ann, StrategyOrdering, StrategyQuorumOrdering),
 				})
 			}
 		}

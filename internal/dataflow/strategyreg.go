@@ -1,0 +1,129 @@
+package dataflow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// StrategyContext is everything a registered strategy sees when planning
+// coordination for one component: the finished analysis, the collapsed
+// graph the analysis ran over, the component in question, and why it was
+// flagged (an anomaly originates here, or it consumes upstream seals).
+type StrategyContext struct {
+	Analysis  *Analysis
+	Graph     *Graph // the collapsed graph (supernodes, not raw components)
+	Component *Component
+	// Origin is true when reconciliation added an anomaly at this
+	// component (the nondeterminism is born here); false when the
+	// component consumes compatible seals and only needs the runtime
+	// protocol installed.
+	Origin bool
+	// PreferSequencing carries the caller's M1-over-M2 preference through
+	// to strategies that order inputs.
+	PreferSequencing bool
+}
+
+// StrategyDef is a registered coordination strategy: a named recipe that
+// inspects a flagged component and either produces a concrete Strategy or
+// declines. Implement the interface, then call RegisterStrategy — the
+// name becomes valid everywhere strategies are referenced (Analyzer
+// options, `blazes verify -strategy`, the service API), and the chaos
+// conformance matrix picks it up by iterating the registry.
+type StrategyDef interface {
+	// Name is the registry key ("sealing", "quorum-ordering", ...).
+	Name() string
+	// Summary is a one-line description for catalogs and docs.
+	Summary() string
+	// Plan produces a Strategy for ctx.Component, or reports false when
+	// the strategy does not apply (synthesis then falls back down the
+	// default chain).
+	Plan(ctx *StrategyContext) (Strategy, bool)
+}
+
+type registeredStrategy struct {
+	def  StrategyDef
+	site string
+}
+
+var (
+	strategyMu  sync.RWMutex
+	strategyReg = map[string]registeredStrategy{}
+)
+
+// RegisterStrategy adds a strategy to the registry. It is meant to be
+// called from package init; registering two strategies under one name is
+// a programming error and panics with both registration sites named.
+func RegisterStrategy(def StrategyDef) {
+	site := "unknown"
+	if _, file, line, ok := runtime.Caller(1); ok {
+		site = fmt.Sprintf("%s:%d", file, line)
+	}
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	name := def.Name()
+	if prev, ok := strategyReg[name]; ok {
+		panic(fmt.Sprintf("dataflow: duplicate strategy %q registered at %s (previously registered at %s)",
+			name, site, prev.site))
+	}
+	strategyReg[name] = registeredStrategy{def: def, site: site}
+}
+
+// LookupStrategy resolves a registered strategy by name. The error lists
+// the valid names, so boundary layers (CLI flags, service request
+// validation, Analyzer options) can surface it verbatim.
+func LookupStrategy(name string) (StrategyDef, error) {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	if r, ok := strategyReg[name]; ok {
+		return r.def, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q (registered: %v)", name, strategyNamesLocked())
+}
+
+// StrategyNames returns the registered strategy names in sorted order.
+func StrategyNames() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	return strategyNamesLocked()
+}
+
+// strategyNamesLocked requires strategyMu held (read or write).
+func strategyNamesLocked() []string {
+	out := make([]string, 0, len(strategyReg))
+	for name := range strategyReg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Strategies returns the registered strategy definitions in name order —
+// the conformance matrix iterates this so every future registration is
+// chaos-checked by construction.
+func Strategies() []StrategyDef {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	out := make([]StrategyDef, 0, len(strategyReg))
+	for _, name := range strategyNamesLocked() {
+		out = append(out, strategyReg[name].def)
+	}
+	return out
+}
+
+// defaultChain is the fallback planning order, reproducing the paper's
+// repair preference: sealing when compatible seals exist, ordering
+// otherwise. A preferred strategy (SynthesisOptions.Strategy) is tried
+// before this chain.
+func defaultChain() []StrategyDef {
+	sealing, err := LookupStrategy(StrategySealing)
+	if err != nil {
+		panic(err) // registered in this package's init
+	}
+	ordering, err := LookupStrategy(StrategyOrdering)
+	if err != nil {
+		panic(err)
+	}
+	return []StrategyDef{sealing, ordering}
+}

@@ -10,8 +10,10 @@ import (
 )
 
 // Strategy is a synthesized coordination plan for one component (Section
-// V-B): either the cheap seal-based protocol (per-partition barriers driven
-// by producer punctuations and a unanimous vote) or an ordering mechanism.
+// V-B): a seal-based protocol (per-partition barriers driven by producer
+// punctuations and a unanimous vote), an ordering mechanism, or one of the
+// registered extensions (quorum ordering, merge rewrite, per-partition
+// sealing — see RegisterStrategy).
 type Strategy struct {
 	// Component names the component whose inputs are coordinated.
 	Component string
@@ -30,15 +32,21 @@ type Strategy struct {
 // String summarizes the strategy.
 func (s Strategy) String() string {
 	switch s.Mechanism {
-	case CoordSealed:
+	case CoordSealed, CoordPartitionSealed:
 		keys := make([]string, 0, len(s.SealKeys))
 		for stream, key := range s.SealKeys {
 			keys = append(keys, fmt.Sprintf("%s on (%s)", stream, key))
 		}
 		sort.Strings(keys)
-		return fmt.Sprintf("%s: seal-based coordination — %s", s.Component, strings.Join(keys, "; "))
-	case CoordSequenced, CoordDynamicOrder:
+		style := "seal-based"
+		if s.Mechanism == CoordPartitionSealed {
+			style = "per-partition seal-based"
+		}
+		return fmt.Sprintf("%s: %s coordination — %s", s.Component, style, strings.Join(keys, "; "))
+	case CoordSequenced, CoordDynamicOrder, CoordQuorumOrder:
 		return fmt.Sprintf("%s: %s over inputs %s", s.Component, s.Mechanism, strings.Join(s.Inputs, ", "))
+	case CoordMergeRewrite:
+		return fmt.Sprintf("%s: merge rewrite — order-sensitive folds replaced by a commutative merge", s.Component)
 	default:
 		return fmt.Sprintf("%s: no coordination required", s.Component)
 	}
@@ -53,6 +61,13 @@ type SynthesisOptions struct {
 	// as Zookeeper, which removes replication anomalies but not cross-run
 	// nondeterminism (Figure 5).
 	PreferSequencing bool
+	// Strategy optionally names a registered strategy (RegisterStrategy)
+	// to try first for every flagged component; where it does not apply,
+	// synthesis falls back to the default sealing-then-ordering chain.
+	// Unknown names are ignored here — boundary layers (Analyzer options,
+	// CLI flags, service validation) reject them via LookupStrategy before
+	// synthesis runs.
+	Strategy string
 }
 
 // Synthesize inspects an analysis and produces one strategy per component
@@ -70,7 +85,19 @@ type SynthesisOptions struct {
 // Components that merely propagate upstream nondeterminism produce no
 // strategy: coordinating them cannot repair contents that already differ
 // (fix the origin and re-analyze — see Repair).
+//
+// Selection dispatches through the strategy registry: the preferred
+// strategy (opts.Strategy, if set and applicable) is tried first, then the
+// default sealing-then-ordering chain, and the first strategy whose Plan
+// accepts the component wins.
 func Synthesize(a *Analysis, opts SynthesisOptions) []Strategy {
+	chain := defaultChain()
+	if opts.Strategy != "" {
+		if def, err := LookupStrategy(opts.Strategy); err == nil {
+			chain = append([]StrategyDef{def}, chain...)
+		}
+	}
+
 	var out []Strategy
 	cg := a.Collapsed
 	for _, comp := range cg.Components() {
@@ -81,43 +108,25 @@ func Synthesize(a *Analysis, opts SynthesisOptions) []Strategy {
 		if ca == nil {
 			continue
 		}
+		ctx := StrategyContext{
+			Analysis:         a,
+			Graph:            cg,
+			Component:        comp,
+			PreferSequencing: opts.PreferSequencing,
+		}
 		switch {
 		case originatesAnomaly(ca):
-			if keys, ok := sealPlan(a, cg, comp); ok {
-				out = append(out, Strategy{
-					Component: comp.Name,
-					Mechanism: CoordSealed,
-					SealKeys:  keys,
-					Reason:    "order-sensitive paths are compatible with the seals on their rendezvousing inputs",
-				})
-				continue
-			}
-			mech, reason := CoordDynamicOrder,
-				"no compatible seal available; replicas must process state-modifying events in a single order"
-			if opts.PreferSequencing {
-				mech, reason = CoordSequenced,
-					"no compatible seal available; replay-based fault tolerance requires a preordained total order"
-			}
-			out = append(out, Strategy{
-				Component: comp.Name,
-				Mechanism: mech,
-				Inputs:    allInputStreams(cg, comp),
-				Reason:    reason,
-			})
+			ctx.Origin = true
 		case consumesSeal(ca):
-			keys, ok := sealPlan(a, cg, comp)
-			if !ok {
-				// Defensive: the analysis says seals protect this
-				// component, so a plan must exist; fall back to reporting
-				// the consumed keys directly from the steps.
-				keys = consumedSealKeys(a, cg, comp)
+			ctx.Origin = false
+		default:
+			continue
+		}
+		for _, def := range chain {
+			if st, ok := def.Plan(&ctx); ok {
+				out = append(out, st)
+				break
 			}
-			out = append(out, Strategy{
-				Component: comp.Name,
-				Mechanism: CoordSealed,
-				SealKeys:  keys,
-				Reason:    "sealed inputs gate per-partition processing; install the punctuation/voting protocol",
-			})
 		}
 	}
 	return out

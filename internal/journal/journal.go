@@ -111,13 +111,25 @@ type Stats struct {
 	Bytes    int64 `json:"bytes"`
 }
 
+// Options tunes Open behavior beyond the on-disk defaults.
+type Options struct {
+	// SegmentBytes caps the active wal segment: once a commit pushes the
+	// segment past the cap, the journal rotates to a fresh segment (the
+	// full one stays on disk until the next snapshot obsoletes it), so no
+	// single wal file grows unboundedly between snapshots. 0 disables
+	// size-based rotation; snapshots still rotate.
+	SegmentBytes int64
+}
+
 // Journal is an open journal directory. Append is safe for concurrent use.
 type Journal struct {
-	dir string
+	dir      string
+	segBytes int64
 
 	mu      sync.Mutex
 	f       *os.File // active wal segment
 	size    int64    // bytes written to f
+	sealed  int64    // bytes in live, already-rotated segments
 	nextSeq uint64   // seq the next Append gets
 	closed  bool
 
@@ -157,6 +169,11 @@ type appendReq struct {
 // corrupt tail is truncated; a file from a future format version fails
 // with ErrVersionSkew.
 func Open(dir string) (*Journal, *Recovered, error) {
+	return OpenWithOptions(dir, Options{})
+}
+
+// OpenWithOptions is Open with tuning; see Options.
+func OpenWithOptions(dir string, opts Options) (*Journal, *Recovered, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
@@ -183,7 +200,7 @@ func Open(dir string) (*Journal, *Recovered, error) {
 		break
 	}
 
-	j := &Journal{dir: dir, nextSeq: 1, reqs: make(chan appendReq, 1024), done: make(chan struct{})}
+	j := &Journal{dir: dir, segBytes: opts.SegmentBytes, nextSeq: 1, reqs: make(chan appendReq, 1024), done: make(chan struct{})}
 	j.stats.snapshotSeq = rec.SnapshotSeq
 
 	// Replay wal segments in order. Records at or below the snapshot seq
@@ -240,6 +257,11 @@ func Open(dir string) (*Journal, *Recovered, error) {
 	// Open the active segment: append to the last live one, or start a
 	// fresh segment at the next seq.
 	if len(j.segments) > 0 {
+		for _, seg := range j.segments[:len(j.segments)-1] {
+			if info, err := os.Stat(seg.path); err == nil {
+				j.sealed += info.Size()
+			}
+		}
 		last := j.segments[len(j.segments)-1]
 		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -344,6 +366,9 @@ func (j *Journal) commit(batch []appendReq) error {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	j.size += int64(len(buf))
+	if j.segBytes > 0 && j.size >= j.segBytes {
+		j.rotateLocked()
+	}
 	j.stats.Lock()
 	if maxSeq > j.stats.synced {
 		j.stats.synced = maxSeq
@@ -352,6 +377,21 @@ func (j *Journal) commit(batch []appendReq) error {
 	j.stats.fsyncs++
 	j.stats.Unlock()
 	return nil
+}
+
+// rotateLocked starts a fresh wal segment; the full old segment stays on
+// disk until the next snapshot obsoletes it (recovery replays every live
+// segment in order). A rotation failure is not an append failure — the
+// batch that triggered it is already durable in the old segment — so the
+// journal keeps appending there and retries on the next commit. Caller
+// holds j.mu.
+func (j *Journal) rotateLocked() {
+	old, oldSize := j.f, j.size
+	if err := j.openSegmentLocked(j.nextSeq); err != nil {
+		return
+	}
+	j.sealed += oldSize
+	_ = old.Close()
 }
 
 // Snapshot atomically records a state snapshot covering every record
@@ -372,17 +412,21 @@ func (j *Journal) Snapshot(payload []byte) error {
 	}
 
 	// Rotate: records after the snapshot go to a fresh segment, and every
-	// wholly-covered old segment can go.
+	// wholly-covered old segment can go. Old segments are removed before
+	// the new one opens: a size rotation may already have created a
+	// (still-empty) segment named wal-<seq+1>, and O_EXCL would refuse to
+	// reuse the name while the file exists.
 	if err := j.f.Close(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	old := j.segments
 	j.segments = nil
-	if err := j.openSegmentLocked(seq + 1); err != nil {
-		return err
-	}
+	j.sealed = 0
 	for _, seg := range old {
 		_ = os.Remove(seg.path)
+	}
+	if err := j.openSegmentLocked(seq + 1); err != nil {
+		return err
 	}
 	// Drop superseded snapshots.
 	snaps, _, err := scanDir(j.dir)
@@ -406,7 +450,7 @@ func (j *Journal) Stats() Stats {
 	j.mu.Lock()
 	last := j.nextSeq - 1
 	segs := len(j.segments)
-	size := j.size
+	size := j.size + j.sealed
 	j.mu.Unlock()
 	j.stats.Lock()
 	defer j.stats.Unlock()

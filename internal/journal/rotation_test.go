@@ -1,0 +1,103 @@
+package journal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestSegmentRotationByBytes: with a byte cap, commits that push the active
+// segment past the cap rotate to a fresh segment; full segments stay on
+// disk and recovery replays the record stream across all of them.
+func TestSegmentRotationByBytes(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenWithOptions(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 40; i++ {
+		p := fmt.Sprintf("record-%02d-xxxxxxxxxxxxxxxx", i)
+		want = append(want, p)
+	}
+	appendAll(t, j, want...)
+
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 2 {
+		t.Fatalf("wal segments = %v, want rotation to have produced several", matches)
+	}
+	st := j.Stats()
+	if st.Segments != len(matches) {
+		t.Errorf("Stats.Segments = %d, want %d", st.Segments, len(matches))
+	}
+	// Bytes covers every live segment, not just the active one: the framed
+	// records plus one header per segment.
+	if wantBytes := int64(40*(frameSize+len(want[0])) + len(matches)*headerSize); st.Bytes != wantBytes {
+		t.Errorf("Stats.Bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays across all segments, in order, nothing lost.
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if rec.Torn {
+		t.Error("clean multi-segment journal reported torn")
+	}
+	if !equal(payloads(rec.Records), want) {
+		t.Fatalf("recovered %d records %v, want %d", len(rec.Records), payloads(rec.Records), len(want))
+	}
+	// Appends resume with the next seq.
+	seq, err := j2.Append([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 41 {
+		t.Errorf("post-recovery seq = %d, want 41", seq)
+	}
+}
+
+// TestSegmentRotationThenSnapshot: a snapshot right after a size rotation
+// must reuse the freshly-created segment's name (wal-<next-seq>) without
+// tripping over the existing file, and drop every pre-snapshot segment.
+func TestSegmentRotationThenSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenWithOptions(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each append exceeds the cap alone, so every commit rotates.
+	appendAll(t, j, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+		"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb")
+	if err := j.Snapshot([]byte("state")); err != nil {
+		t.Fatalf("snapshot after rotation: %v", err)
+	}
+	walPath(t, dir) // exactly one live segment again
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if string(rec.Snapshot) != "state" || rec.SnapshotSeq != 2 {
+		t.Fatalf("recovered snapshot %q at seq %d, want \"state\" at 2", rec.Snapshot, rec.SnapshotSeq)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("records after snapshot: %v", payloads(rec.Records))
+	}
+}
+
+// TestNoRotationWithoutCap: the default (SegmentBytes 0) never rotates on
+// size — the single-segment discipline older journals rely on.
+func TestNoRotationWithoutCap(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	defer j.Close()
+	for i := 0; i < 64; i++ {
+		appendAll(t, j, "a-reasonably-long-payload-to-grow-the-segment")
+	}
+	walPath(t, dir)
+}

@@ -166,6 +166,12 @@ func MechanismToken(c Coordination) string {
 		return "dynamic-ordering"
 	case CoordSealed:
 		return "sealing"
+	case CoordQuorumOrder:
+		return "quorum-ordering"
+	case CoordMergeRewrite:
+		return "merge-rewrite"
+	case CoordPartitionSealed:
+		return "partition-sealing"
 	default:
 		return "none"
 	}
@@ -182,6 +188,12 @@ func ParseMechanism(token string) (Coordination, error) {
 		return CoordDynamicOrder, nil
 	case "sealing":
 		return CoordSealed, nil
+	case "quorum-ordering":
+		return CoordQuorumOrder, nil
+	case "merge-rewrite":
+		return CoordMergeRewrite, nil
+	case "partition-sealing":
+		return CoordPartitionSealed, nil
 	default:
 		return CoordNone, fmt.Errorf("blazes: unknown mechanism token %q", token)
 	}

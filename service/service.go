@@ -57,6 +57,7 @@ import (
 
 	"blazes"
 	"blazes/internal/journal"
+	"blazes/strategy"
 	"blazes/verify"
 )
 
@@ -90,6 +91,11 @@ type Options struct {
 	// SnapshotEvery is the number of journal records between snapshots
 	// (compaction); 0 selects DefaultSnapshotEvery.
 	SnapshotEvery int
+	// JournalSegmentBytes caps individual wal segment files: the journal
+	// rotates to a fresh segment once the active one reaches the cap (full
+	// segments last until the next snapshot obsoletes them). 0 disables
+	// size-based rotation.
+	JournalSegmentBytes int64
 
 	// MaxConcurrent bounds concurrently admitted expensive requests
 	// (create/mutate/analyze/verify); 0 selects GOMAXPROCS (min 2).
@@ -238,7 +244,7 @@ func Open(opts Options) (*Server, error) {
 	if opts.JournalDir == "" {
 		return s, nil
 	}
-	jrn, recovered, err := journal.Open(opts.JournalDir)
+	jrn, recovered, err := journal.OpenWithOptions(opts.JournalDir, journal.Options{SegmentBytes: opts.JournalSegmentBytes})
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
@@ -444,6 +450,10 @@ type CreateRequest struct {
 	// Sequencing prefers M1 sequencing over M2 dynamic ordering whenever
 	// synthesis must order inputs.
 	Sequencing bool `json:"sequencing,omitempty"`
+	// Strategy asks synthesis to try the named registered coordination
+	// strategy first (see blazes/strategy); empty keeps the default chain.
+	// An unknown name fails session creation.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // NewSession opens the session the request describes. Exported because it
@@ -461,6 +471,9 @@ func (req CreateRequest) NewSession() (*blazes.Session, error) {
 	opts := []blazes.Option{blazes.WithVariants(req.Variants)}
 	if req.Sequencing {
 		opts = append(opts, blazes.PreferSequencing())
+	}
+	if req.Strategy != "" {
+		opts = append(opts, blazes.WithStrategy(req.Strategy))
 	}
 	for stream, key := range req.Seals {
 		opts = append(opts, blazes.WithSealRepair(stream, key...))
@@ -850,6 +863,10 @@ type VerifyRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Sequencing prefers M1 over M2 where ordering is required.
 	Sequencing bool `json:"sequencing,omitempty"`
+	// Strategy asks synthesis to try the named registered coordination
+	// strategy first (see blazes/strategy); unknown names are rejected
+	// with 400.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // VerifyResponse carries one report per verified workload.
@@ -881,6 +898,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parallelism must be ≥ -1 (-1 selects one worker per CPU)")
 		return
 	}
+	if err := strategy.Validate(req.Strategy); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	suite := verify.Workloads()
 	selected := suite
 	if len(req.Workloads) > 0 {
@@ -904,7 +925,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if parallelism == 0 {
 		parallelism = -1 // one worker per CPU
 	}
-	opts := verify.Options{Seeds: req.Seeds, PreferSequencing: req.Sequencing, Parallelism: parallelism}
+	opts := verify.Options{Seeds: req.Seeds, PreferSequencing: req.Sequencing, Strategy: req.Strategy, Parallelism: parallelism}
 	resp := VerifyResponse{Holds: true}
 	for _, wl := range selected {
 		rep, err := verify.CheckContext(r.Context(), wl, opts)

@@ -239,6 +239,9 @@ func TestBadRequests(t *testing.T) {
 		{"mutate-no-ops", "POST", "/v1/sessions/nope/mutate", MutateRequest{}, http.StatusNotFound, "unknown session"},
 		{"verify-unknown-workload", "POST", "/v1/verify", VerifyRequest{Workloads: []string{"nope"}}, http.StatusBadRequest, "unknown workload"},
 		{"verify-bad-seeds", "POST", "/v1/verify", VerifyRequest{Seeds: -1}, http.StatusBadRequest, "seeds"},
+		{"verify-unknown-strategy", "POST", "/v1/verify", VerifyRequest{Strategy: "nope"}, http.StatusBadRequest, "unknown strategy"},
+		{"sweep-unknown-strategy", "POST", "/v1/sweeps", SweepSubmitRequest{Strategy: "nope"}, http.StatusBadRequest, "unknown strategy"},
+		{"create-unknown-strategy", "POST", "/v1/sessions", CreateRequest{Spec: "A: {annotation: {from: i, to: o, label: CR}}\ntopology:\n  sources:\n    - {name: s, to: A.i}\n", Strategy: "nope"}, http.StatusBadRequest, "unknown strategy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

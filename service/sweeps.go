@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"blazes/strategy"
 	"blazes/verify"
 )
 
@@ -68,6 +69,10 @@ type SweepSubmitRequest struct {
 	Seeds int `json:"seeds,omitempty"`
 	// Sequencing prefers M1 over M2 where ordering is required.
 	Sequencing bool `json:"sequencing,omitempty"`
+	// Strategy asks synthesis to try the named registered coordination
+	// strategy first (see blazes/strategy); unknown names are rejected
+	// with 400.
+	Strategy string `json:"strategy,omitempty"`
 	// Shrink delta-debugs every anomalous cell to a 1-minimal replayable
 	// trace once the cell completes.
 	Shrink bool `json:"shrink,omitempty"`
@@ -166,6 +171,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch_size must be non-negative")
 		return
 	}
+	if err := strategy.Validate(req.Strategy); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	names := req.Workloads
 	if len(names) == 0 {
 		for _, wl := range verify.Workloads() {
@@ -174,7 +183,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job := &sweepJob{shrink: req.Shrink, traces: map[int]*verify.Trace{}}
-	opts := verify.Options{Seeds: req.Seeds, PreferSequencing: req.Sequencing}
+	opts := verify.Options{Seeds: req.Seeds, PreferSequencing: req.Sequencing, Strategy: req.Strategy}
 	var cells []verify.Cell
 	for _, name := range names {
 		wl, err := verify.LookupWorkload(name)

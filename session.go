@@ -75,6 +75,11 @@ type SessionStats struct {
 // validate.
 func OpenSession(g *Graph, opts ...Option) (*Session, error) {
 	cfg := buildConfig(opts)
+	if cfg.strategy != "" {
+		if _, err := dataflow.LookupStrategy(cfg.strategy); err != nil {
+			return nil, fmt.Errorf("blazes: %w", err)
+		}
+	}
 	ng := g.Clone()
 	for _, sr := range cfg.sealRepairs {
 		s := ng.Stream(sr.stream)
@@ -358,7 +363,7 @@ func (s *Session) analyze(ctx context.Context, synth bool) (*Report, error) {
 	}
 	res := &Result{analysis: an}
 	if synth {
-		res.strategies = dataflow.Synthesize(an, dataflow.SynthesisOptions{PreferSequencing: s.cfg.preferSequencing})
+		res.strategies = dataflow.Synthesize(an, dataflow.SynthesisOptions{PreferSequencing: s.cfg.preferSequencing, Strategy: s.cfg.strategy})
 		res.synthesized = true
 	}
 	recomputed := make([]string, 0, len(stats.Recomputed))

@@ -1,0 +1,59 @@
+// Package strategy exposes the coordination-strategy registry behind the
+// Blazes analyzer. Synthesis (blazes.Analyzer, blazes verify, the analysis
+// service) resolves strategies by name through this registry rather than a
+// hard-coded switch; every name accepted anywhere in the toolchain — the
+// WithStrategy option, the -strategy flag, the Strategy fields of the
+// service API — comes from the set reported here, so error messages and
+// validation stay in lockstep with what is actually registered.
+//
+// A strategy plans one coordination mechanism for one component: sealing
+// and ordering are the paper's defaults; quorum-ordering, merge-rewrite
+// and partition-sealing are registered extensions. New strategies register
+// in internal/dataflow with RegisterStrategy and must pass the chaos
+// conformance gate (the synthesized graph converges under fault injection,
+// the stripped graph demonstrably diverges) before they ship.
+package strategy
+
+import "blazes/internal/dataflow"
+
+// Registered strategy names.
+const (
+	Sealing          = dataflow.StrategySealing
+	Ordering         = dataflow.StrategyOrdering
+	QuorumOrdering   = dataflow.StrategyQuorumOrdering
+	MergeRewrite     = dataflow.StrategyMergeRewrite
+	PartitionSealing = dataflow.StrategyPartitionSealing
+)
+
+// Info describes one registered strategy.
+type Info struct {
+	// Name is the registry key, as accepted by blazes.WithStrategy, the
+	// verify -strategy flag, and the service Strategy fields.
+	Name string
+	// Summary is a one-line description of the mechanism and when it
+	// applies.
+	Summary string
+}
+
+// Names returns every registered strategy name, sorted.
+func Names() []string { return dataflow.StrategyNames() }
+
+// Validate reports whether name is registered; the error lists the valid
+// names. The empty name is valid and means "use the default chain".
+func Validate(name string) error {
+	if name == "" {
+		return nil
+	}
+	_, err := dataflow.LookupStrategy(name)
+	return err
+}
+
+// Catalog returns an Info for every registered strategy, in name order.
+func Catalog() []Info {
+	defs := dataflow.Strategies()
+	infos := make([]Info, len(defs))
+	for i, d := range defs {
+		infos[i] = Info{Name: d.Name(), Summary: d.Summary()}
+	}
+	return infos
+}

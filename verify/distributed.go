@@ -55,6 +55,7 @@ func PlanCheck(w Workload, opts Options) (*CheckPlan, error) {
 		Seeds:            opts.Seeds,
 		Plans:            opts.Plans,
 		PreferSequencing: opts.PreferSequencing,
+		Strategy:         opts.Strategy,
 		Parallelism:      opts.Parallelism,
 	})
 }
@@ -92,6 +93,7 @@ func CheckShrink(ctx context.Context, w Workload, opts Options) (*Report, []*Tra
 		Seeds:            opts.Seeds,
 		Plans:            opts.Plans,
 		PreferSequencing: opts.PreferSequencing,
+		Strategy:         opts.Strategy,
 		Parallelism:      opts.Parallelism,
 	})
 }
@@ -101,6 +103,13 @@ func CheckShrink(ctx context.Context, w Workload, opts Options) (*Report, []*Tra
 // the cell first).
 func ShrinkCell(ctx context.Context, w Workload, cell Cell, outcomes []Outcome) (*Trace, error) {
 	return chaos.ShrinkCell(ctx, w, cell, outcomes)
+}
+
+// Reshrink re-runs delta debugging over an existing trace's recorded event
+// set (no sweep) and returns a fresh 1-minimal trace with the same
+// identity; it errors if the recorded classification no longer reproduces.
+func Reshrink(ctx context.Context, tr *Trace) (*Trace, error) {
+	return chaos.ReshrinkTrace(ctx, tr)
 }
 
 // Replay re-executes a trace and checks it reproduces its recorded

@@ -62,6 +62,11 @@ type Options struct {
 	// PreferSequencing selects M1 (preordained total order) over M2
 	// dynamic ordering when synthesis must order inputs.
 	PreferSequencing bool
+	// Strategy asks synthesis to try the named registered coordination
+	// strategy first (see blazes/strategy); empty keeps the default
+	// sealing-then-ordering chain. An unknown name is an error before any
+	// schedule runs.
+	Strategy string
 	// Parallelism is the worker count for exploring seeded schedules
 	// concurrently (each on its own simulator, merged in seed order): the
 	// report — anomalies, details, JSON bytes — is byte-identical to a
@@ -85,6 +90,7 @@ func CheckContext(ctx context.Context, w Workload, opts Options) (*Report, error
 		Seeds:            opts.Seeds,
 		Plans:            opts.Plans,
 		PreferSequencing: opts.PreferSequencing,
+		Strategy:         opts.Strategy,
 		Parallelism:      opts.Parallelism,
 	})
 }
